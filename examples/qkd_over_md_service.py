@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quantum key distribution over the measure-directly (MD) service.
+
+The MD use case of the paper (Section 3.3) targets applications such as QKD
+that consume many measured pairs and post-process the classical outcomes.
+This example submits MD CREATE requests on the QL2020 scenario, collects the
+measurement records at both nodes, sifts them, estimates the QBER and reports
+the asymptotic secret-key yield.
+
+Run with::
+
+    python examples/qkd_over_md_service.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.qkd import QKDSession
+from repro.core.messages import EntanglementRequest, Priority, RequestType
+from repro.hardware import ql2020_scenario
+from repro.network import LinkLayerNetwork
+
+
+def main(simulated_seconds: float = 20.0, pairs_per_request: int = 25) -> None:
+    network = LinkLayerNetwork(ql2020_scenario(), scheduler="FCFS", seed=7,
+                               attempt_batch_size=100)
+    session = QKDSession(key_basis="Z")
+    session.attach(network)
+
+    request = EntanglementRequest(
+        remote_node_id="B",
+        request_type=RequestType.MEASURE,
+        number=pairs_per_request,
+        consecutive=True,
+        priority=Priority.MD,
+        min_fidelity=0.64,
+        purpose_id=1,
+    )
+    print(f"Submitting an MD CREATE request for {pairs_per_request} pairs "
+          f"on the QL2020 link ...")
+    network.node_a.create(request)
+    network.run(duration=simulated_seconds)
+
+    stats = session.statistics()
+    print(f"Raw measured pairs      : {stats.raw_pairs}")
+    print(f"Sifted key bits (Z)     : {stats.sifted_bits}")
+    if stats.qber is not None:
+        print(f"QBER (key basis)        : {stats.qber:.3f}")
+    for basis, qber in sorted(stats.qber_by_basis.items()):
+        print(f"  QBER in {basis}             : {qber:.3f}")
+    print(f"Asymptotic key fraction : {stats.key_fraction:.3f}")
+    print(f"Secret key bits         : {stats.secret_key_bits:.1f}")
+    if stats.key_fraction == 0:
+        print("QBER too high for key generation — exactly the trade-off the "
+              "paper's F_min parameter controls.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Metrics collection and aggregation for link-layer evaluations."""
+
+from repro.analysis.metrics import (
+    MetricsCollector,
+    PairRecord,
+    RequestRecord,
+    MetricsSummary,
+    relative_difference,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "PairRecord",
+    "RequestRecord",
+    "MetricsSummary",
+    "relative_difference",
+]

@@ -1,0 +1,21 @@
+"""Application-layer protocols built on top of the link layer service.
+
+These are the use cases that motivate the paper's CREATE request types:
+
+* :mod:`repro.apps.qkd` — quantum key distribution on the measure-directly
+  (MD) service,
+* :mod:`repro.apps.teleportation` — qubit transmission (SQ use case) consuming
+  create-and-keep (K) pairs.
+"""
+
+from repro.apps.qkd import QKDSession, KeyStatistics, binary_entropy, bb84_key_fraction
+from repro.apps.teleportation import teleport, TeleportationResult
+
+__all__ = [
+    "QKDSession",
+    "KeyStatistics",
+    "binary_entropy",
+    "bb84_key_fraction",
+    "teleport",
+    "TeleportationResult",
+]

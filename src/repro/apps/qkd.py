@@ -1,0 +1,122 @@
+"""Quantum key distribution on top of the measure-directly (MD) service.
+
+This is the canonical application of the paper's MD use case: the link layer
+delivers measurement outcomes at both nodes; the application sifts them,
+estimates the QBER and computes how much secret key could be distilled.
+
+The implementation is deliberately simple (entanglement-based BB84 with
+asymptotic key fraction ``1 - 2 h(Q)``): the point is to exercise the MD
+service end-to-end, not to provide a production QKD post-processing stack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.messages import OkMessage, RequestType
+
+
+def binary_entropy(probability: float) -> float:
+    """Binary entropy h(p) in bits."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability {probability} not in [0, 1]")
+    if probability in (0.0, 1.0):
+        return 0.0
+    return (-probability * math.log2(probability)
+            - (1.0 - probability) * math.log2(1.0 - probability))
+
+
+def bb84_key_fraction(qber: float) -> float:
+    """Asymptotic BB84 secret-key fraction ``max(0, 1 - 2 h(Q))``."""
+    return max(0.0, 1.0 - 2.0 * binary_entropy(qber))
+
+
+@dataclass
+class KeyStatistics:
+    """Result of a QKD session."""
+
+    raw_pairs: int
+    sifted_bits: int
+    errors: int
+    qber: Optional[float]
+    key_fraction: float
+    secret_key_bits: float
+    qber_by_basis: dict[str, float] = field(default_factory=dict)
+
+
+class QKDSession:
+    """Entanglement-based QKD session consuming MD measurement outcomes.
+
+    The session listens to OK messages from both nodes, pairs them by
+    entanglement identifier, and treats the Z basis as the key basis (X and Y
+    outcomes are used for error estimation only).
+
+    Because the link layer delivers |Psi+> after correction, Z outcomes are
+    anti-correlated: node B flips its key bits.
+    """
+
+    def __init__(self, key_basis: str = "Z") -> None:
+        self.key_basis = key_basis.upper()
+        self._outcomes: dict[tuple, dict[str, OkMessage]] = defaultdict(dict)
+        self.raw_pairs = 0
+
+    def attach(self, network) -> None:
+        """Subscribe to both nodes' OK streams of a LinkLayerNetwork."""
+        for name, node in network.nodes.items():
+            node.egp.add_ok_listener(
+                lambda ok, node_name=name: self.record(node_name, ok))
+
+    def record(self, node_name: str, ok: OkMessage) -> None:
+        """Record one node's OK for an MD pair."""
+        if ok.request_type is not RequestType.MEASURE:
+            return
+        if ok.measurement_outcome is None or ok.measurement_basis is None:
+            return
+        key = tuple(ok.entanglement_id)
+        slot = self._outcomes[key]
+        slot[node_name] = ok
+        if len(slot) == 2:
+            self.raw_pairs += 1
+
+    def _complete_pairs(self) -> list[tuple[OkMessage, OkMessage]]:
+        pairs = []
+        for slot in self._outcomes.values():
+            if "A" in slot and "B" in slot:
+                pairs.append((slot["A"], slot["B"]))
+        return pairs
+
+    def statistics(self) -> KeyStatistics:
+        """Sift, estimate QBER per basis and compute the secret key yield."""
+        sifted = 0
+        errors = 0
+        per_basis_counts: dict[str, list[int]] = defaultdict(list)
+        for ok_a, ok_b in self._complete_pairs():
+            basis = ok_a.measurement_basis
+            if basis != ok_b.measurement_basis:
+                continue  # both nodes derive the basis from the sequence number
+            # Target |Psi+>: Z anti-correlated, X and Y correlated.
+            equal = ok_a.measurement_outcome == ok_b.measurement_outcome
+            error = equal if basis == "Z" else not equal
+            per_basis_counts[basis].append(1 if error else 0)
+            if basis == self.key_basis:
+                sifted += 1
+                errors += 1 if error else 0
+        qber_by_basis = {basis: sum(values) / len(values)
+                         for basis, values in per_basis_counts.items() if values}
+        qber = qber_by_basis.get(self.key_basis)
+        if qber is None:
+            key_fraction = 0.0
+        else:
+            key_fraction = bb84_key_fraction(qber)
+        return KeyStatistics(
+            raw_pairs=self.raw_pairs,
+            sifted_bits=sifted,
+            errors=errors,
+            qber=qber,
+            key_fraction=key_fraction,
+            secret_key_bits=key_fraction * sifted,
+            qber_by_basis=qber_by_basis,
+        )

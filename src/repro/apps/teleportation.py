@@ -1,0 +1,72 @@
+"""Qubit teleportation over a delivered entangled pair (the SQ use case).
+
+Teleportation consumes one create-and-keep pair: the sender performs a Bell
+measurement on the data qubit and its half of the pair, sends the two
+classical outcome bits, and the receiver applies the corresponding Pauli
+correction.  The fidelity of the output qubit to the input qubit is limited by
+the fidelity of the link-layer pair — which is exactly the argument the paper
+makes for the F_min parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.pair import EntangledPair
+from repro.quantum import gates
+from repro.quantum.density import DensityMatrix
+
+
+@dataclass
+class TeleportationResult:
+    """Outcome of teleporting one qubit."""
+
+    classical_bits: tuple[int, int]
+    output_state: DensityMatrix
+    fidelity: float
+
+
+def teleport(data_ket: np.ndarray, pair: EntangledPair,
+             rng: Optional[np.random.Generator] = None) -> TeleportationResult:
+    """Teleport ``data_ket`` from node A to node B using ``pair``.
+
+    ``pair`` must hold a (possibly noisy) |Psi+>-like state with qubit 0 at
+    the sender (A) and qubit 1 at the receiver (B); this is what the link
+    layer delivers after the |Psi-> correction.
+
+    Returns the receiver's output state and its fidelity to the input.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    data_ket = np.asarray(data_ket, dtype=complex).reshape(-1)
+    if data_ket.shape != (2,):
+        raise ValueError("teleportation input must be a single-qubit state")
+    norm = np.linalg.norm(data_ket)
+    if norm == 0:
+        raise ValueError("input state has zero norm")
+    data_ket = data_ket / norm
+
+    # Joint state: data qubit (0), A's half (1), B's half (2).
+    joint = DensityMatrix.from_ket(data_ket).tensor(pair.state)
+
+    # Bell measurement on (data, A): CNOT then H on the data qubit, then
+    # measure both in Z.
+    joint.apply_unitary(gates.CNOT, qubits=[0, 1])
+    joint.apply_unitary(gates.H, qubits=[0])
+    bit_z = joint.measure(0, basis="Z", rng=rng)
+    bit_x = joint.measure(1, basis="Z", rng=rng)
+
+    # Receiver correction.  For the |Psi+> resource (anti-correlated in Z) the
+    # required correction differs from the textbook |Phi+> case by an extra X.
+    output = joint.partial_trace([2])
+    if bit_x == 0:
+        output.apply_unitary(gates.X, qubits=[0])
+    if bit_z == 1:
+        output.apply_unitary(gates.Z, qubits=[0])
+
+    fidelity = output.fidelity_to_pure(data_ket)
+    return TeleportationResult(classical_bits=(bit_z, bit_x),
+                               output_state=output,
+                               fidelity=fidelity)

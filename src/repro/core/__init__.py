@@ -1,0 +1,75 @@
+"""Link layer (EGP) and physical layer (MHP) protocols.
+
+This package contains the paper's primary contribution: the protocols that
+turn physical-layer heralded entanglement attempts into a robust link-layer
+entanglement generation service.
+
+Layering (paper Figure 5)::
+
+    Higher layer --CREATE/OK/ERR--> EGP (link layer)
+    EGP --poll/yes-no--> MHP (physical layer)
+    MHP --GEN/REPLY--> Heralding midpoint
+
+Public API highlights
+---------------------
+``EntanglementRequest``
+    The CREATE request submitted by higher layers.
+``EGP``
+    The link-layer Entanglement Generation Protocol.
+``NodeMHP`` / ``MidpointHeraldingService``
+    The physical-layer Midpoint Heralding Protocol.
+``FCFSScheduler`` / ``WeightedFairScheduler``
+    Scheduling strategies studied in Section 6.3.
+"""
+
+from repro.core.messages import (
+    RequestType,
+    Priority,
+    EntanglementRequest,
+    OkMessage,
+    ErrorMessage,
+    ErrorCode,
+    ExpireNotice,
+    EntanglementId,
+    MHPReply,
+    MHPError,
+    GenMessage,
+    PollResponse,
+)
+from repro.core.distributed_queue import DistributedQueue, QueueItem, LocalQueue
+from repro.core.qmm import QuantumMemoryManager
+from repro.core.feu import FidelityEstimationUnit, FidelityEstimate
+from repro.core.scheduler import (
+    SchedulingStrategy,
+    FCFSScheduler,
+    WeightedFairScheduler,
+)
+from repro.core.mhp import NodeMHP, MidpointHeraldingService
+from repro.core.egp import EGP
+
+__all__ = [
+    "RequestType",
+    "Priority",
+    "EntanglementRequest",
+    "OkMessage",
+    "ErrorMessage",
+    "ErrorCode",
+    "ExpireNotice",
+    "EntanglementId",
+    "MHPReply",
+    "MHPError",
+    "GenMessage",
+    "PollResponse",
+    "DistributedQueue",
+    "QueueItem",
+    "LocalQueue",
+    "QuantumMemoryManager",
+    "FidelityEstimationUnit",
+    "FidelityEstimate",
+    "SchedulingStrategy",
+    "FCFSScheduler",
+    "WeightedFairScheduler",
+    "NodeMHP",
+    "MidpointHeraldingService",
+    "EGP",
+]

@@ -1,0 +1,393 @@
+"""Distributed Queue Protocol (DQP) — paper Appendix E.1.
+
+Both controllable nodes must trigger entanglement attempts for the *same*
+request in the *same* MHP cycle.  The DQP achieves this agreement by keeping
+synchronised local queues at both nodes: one node (A) is the *master* of the
+queue and assigns sequence numbers, the other (B) is the *slave*.
+
+Properties implemented (Appendix E.1.2):
+
+* total order and arrival-time ordering within each priority queue,
+* equal queue number / uniqueness / consistency of absolute queue ids,
+* windowed fairness between the two origins,
+* ``min_time`` (schedule cycle) so that neither node starts generating before
+  the other has the item,
+* retransmission of ADD frames when ACK/REJ is lost,
+* rejection when the queue is full or the peer's policy refuses the purpose id.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.messages import (
+    AbsoluteQueueId,
+    EntanglementRequest,
+    ErrorCode,
+    Priority,
+    QueueAck,
+    QueueAdd,
+    QueueReject,
+)
+from repro.sim.channel import ClassicalChannel
+from repro.sim.engine import SimulationEngine
+from repro.sim.entity import Protocol
+
+
+@dataclass
+class QueueItem:
+    """One entry of the distributed queue."""
+
+    request: EntanglementRequest
+    queue_id: AbsoluteQueueId
+    schedule_cycle: int
+    timeout_cycle: Optional[int]
+    added_at: float
+    pairs_remaining: int
+    acknowledged: bool = False
+    #: Virtual finish time used by weighted-fair-queueing schedulers.
+    virtual_finish: float = 0.0
+    #: Cycle until which generation for this item is suspended (used while the
+    #: peer applies the |Psi-> correction).
+    suspended_until_cycle: int = 0
+    #: Number of pairs successfully delivered so far.
+    pairs_delivered: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def priority(self) -> Priority:
+        """Priority of the underlying request."""
+        return self.request.priority
+
+    def is_ready(self, cycle: int) -> bool:
+        """Whether this item may be served in MHP cycle ``cycle``."""
+        return (self.acknowledged
+                and cycle >= self.schedule_cycle
+                and cycle >= self.suspended_until_cycle
+                and self.pairs_remaining > 0)
+
+
+class LocalQueue:
+    """A single priority lane of the distributed queue."""
+
+    def __init__(self, queue_id: int, max_size: int = 256) -> None:
+        self.queue_id = queue_id
+        self.max_size = max_size
+        self._items: dict[int, QueueItem] = {}
+        self._order: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, queue_seq: int) -> bool:
+        return queue_seq in self._items
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the queue has reached its maximum size."""
+        return len(self._items) >= self.max_size
+
+    def add(self, item: QueueItem) -> None:
+        """Insert ``item`` keyed by its queue sequence number."""
+        seq = item.queue_id.queue_seq
+        if seq in self._items:
+            raise ValueError(f"queue {self.queue_id} already holds seq {seq}")
+        if self.is_full:
+            raise OverflowError(f"queue {self.queue_id} is full")
+        self._items[seq] = item
+        self._order.append(seq)
+
+    def get(self, queue_seq: int) -> Optional[QueueItem]:
+        """Item with the given sequence number, or ``None``."""
+        return self._items.get(queue_seq)
+
+    def remove(self, queue_seq: int) -> Optional[QueueItem]:
+        """Remove and return the item with the given sequence number."""
+        item = self._items.pop(queue_seq, None)
+        if item is not None:
+            self._order.remove(queue_seq)
+        return item
+
+    def items_in_order(self) -> list[QueueItem]:
+        """All items in arrival order."""
+        return [self._items[seq] for seq in self._order]
+
+    def ready_items(self, cycle: int) -> list[QueueItem]:
+        """Items that may be served in ``cycle``, in arrival order."""
+        return [item for item in self.items_in_order() if item.is_ready(cycle)]
+
+
+@dataclass
+class _PendingAdd:
+    """Book-keeping for an ADD awaiting acknowledgement."""
+
+    comm_seq: int
+    frame: QueueAdd
+    callback: Callable[[Optional[QueueItem], Optional[ErrorCode]], None]
+    item: Optional[QueueItem]
+    retries: int = 0
+
+
+class DistributedQueue(Protocol):
+    """One node's end of the distributed queue.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    node_name:
+        Local node name ("A" or "B").
+    is_master:
+        Whether this node holds the master copy (assigns sequence numbers).
+    priorities:
+        The priority lanes to create (one :class:`LocalQueue` per priority).
+    max_queue_size:
+        Maximum items per lane (the paper uses 256).
+    window_size:
+        Maximum outstanding un-acknowledged ADDs per origin (fairness window).
+    ack_timeout:
+        Time to wait for an ACK/REJ before retransmitting the ADD.
+    max_retries:
+        Retransmissions before the add is abandoned with a NOTIME error.
+    accept_policy:
+        Predicate deciding whether a peer's request (by purpose id) is
+        accepted; returning ``False`` triggers a REJ / DENIED.
+    """
+
+    def __init__(self, engine: SimulationEngine, node_name: str,
+                 is_master: bool,
+                 priorities: tuple[Priority, ...] = (Priority.NL, Priority.CK,
+                                                     Priority.MD),
+                 max_queue_size: int = 256,
+                 window_size: int = 16,
+                 ack_timeout: float = 1e-3,
+                 max_retries: int = 10,
+                 accept_policy: Optional[Callable[[EntanglementRequest], bool]] = None,
+                 ) -> None:
+        super().__init__(engine, name=f"DQP-{node_name}")
+        self.node_name = node_name
+        self.is_master = is_master
+        self.queues: dict[int, LocalQueue] = {
+            int(priority): LocalQueue(int(priority), max_size=max_queue_size)
+            for priority in priorities
+        }
+        self.window_size = window_size
+        self.ack_timeout = ack_timeout
+        self.max_retries = max_retries
+        self.accept_policy = accept_policy or (lambda request: True)
+        self._channel: Optional[ClassicalChannel] = None
+        self._comm_seq = itertools.count()
+        self._master_seq: dict[int, itertools.count] = {
+            queue_id: itertools.count() for queue_id in self.queues
+        }
+        self._pending: dict[int, _PendingAdd] = {}
+        #: Called whenever an item is added locally (either origin).
+        self.on_item_added: Optional[Callable[[QueueItem], None]] = None
+        self.statistics = {"adds_sent": 0, "adds_received": 0,
+                           "acks_sent": 0, "rejects_sent": 0,
+                           "retransmissions": 0, "abandoned": 0}
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def attach_channel(self, channel: ClassicalChannel) -> None:
+        """Set the classical channel used to reach the peer DQP."""
+        self._channel = channel
+
+    def receive(self, frame: object) -> None:
+        """Entry point for frames arriving from the peer DQP."""
+        if isinstance(frame, QueueAdd):
+            self._handle_add(frame)
+        elif isinstance(frame, QueueAck):
+            self._handle_ack(frame)
+        elif isinstance(frame, QueueReject):
+            self._handle_reject(frame)
+        else:
+            raise TypeError(f"unexpected DQP frame {type(frame).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Local API used by the EGP
+    # ------------------------------------------------------------------ #
+    def queue_for_priority(self, priority: Priority) -> int:
+        """Queue id used for requests of the given priority."""
+        return int(priority)
+
+    def outstanding_adds(self) -> int:
+        """Number of local ADDs still awaiting acknowledgement."""
+        return len(self._pending)
+
+    def total_length(self) -> int:
+        """Total number of items across all priority lanes."""
+        return sum(len(queue) for queue in self.queues.values())
+
+    def add(self, request: EntanglementRequest, schedule_cycle: int,
+            timeout_cycle: Optional[int],
+            callback: Callable[[Optional[QueueItem], Optional[ErrorCode]], None],
+            ) -> None:
+        """Add ``request`` to the distributed queue.
+
+        ``callback(item, error)`` fires once the add is resolved: on success
+        ``item`` is the local :class:`QueueItem` and ``error`` is ``None``;
+        on failure ``item`` is ``None`` and ``error`` describes the reason.
+        """
+        if self._channel is None:
+            raise RuntimeError("DQP channel not attached")
+        queue_id = self.queue_for_priority(request.priority)
+        queue = self.queues[queue_id]
+        if queue.is_full:
+            callback(None, ErrorCode.REJECTED)
+            return
+        if len(self._pending) >= self.window_size:
+            callback(None, ErrorCode.NOTIME)
+            return
+        comm_seq = next(self._comm_seq)
+        if self.is_master:
+            queue_seq = next(self._master_seq[queue_id])
+            item = self._make_item(request, queue_id, queue_seq,
+                                   schedule_cycle, timeout_cycle)
+            queue.add(item)
+            frame = QueueAdd(origin=self.node_name, comm_seq=comm_seq,
+                             queue_id=queue_id, queue_seq=queue_seq,
+                             request=request, schedule_cycle=schedule_cycle,
+                             timeout_cycle=timeout_cycle)
+        else:
+            item = None
+            frame = QueueAdd(origin=self.node_name, comm_seq=comm_seq,
+                             queue_id=queue_id, queue_seq=None,
+                             request=request, schedule_cycle=schedule_cycle,
+                             timeout_cycle=timeout_cycle)
+        pending = _PendingAdd(comm_seq=comm_seq, frame=frame,
+                              callback=callback, item=item)
+        self._pending[comm_seq] = pending
+        self._transmit_add(pending)
+
+    def remove(self, queue_id: AbsoluteQueueId) -> Optional[QueueItem]:
+        """Remove an item once its request completed, timed out or expired."""
+        queue = self.queues.get(queue_id.queue_id)
+        if queue is None:
+            return None
+        return queue.remove(queue_id.queue_seq)
+
+    def get(self, queue_id: AbsoluteQueueId) -> Optional[QueueItem]:
+        """Look up an item by absolute queue id."""
+        queue = self.queues.get(queue_id.queue_id)
+        if queue is None:
+            return None
+        return queue.get(queue_id.queue_seq)
+
+    def ready_items(self, cycle: int) -> list[QueueItem]:
+        """All ready items across lanes (the scheduler picks among these)."""
+        ready = []
+        for queue in self.queues.values():
+            ready.extend(queue.ready_items(cycle))
+        return ready
+
+    # ------------------------------------------------------------------ #
+    # Frame handling
+    # ------------------------------------------------------------------ #
+    def _transmit_add(self, pending: _PendingAdd) -> None:
+        assert self._channel is not None
+        self.statistics["adds_sent"] += 1
+        self._channel.send(pending.frame)
+        self.call_after(self.ack_timeout,
+                        lambda seq=pending.comm_seq: self._check_ack(seq),
+                        name=f"{self.name}.ack_timeout")
+
+    def _check_ack(self, comm_seq: int) -> None:
+        pending = self._pending.get(comm_seq)
+        if pending is None:
+            return
+        pending.retries += 1
+        if pending.retries > self.max_retries:
+            # Abandon: roll back any local insertion (master origin).
+            self.statistics["abandoned"] += 1
+            del self._pending[comm_seq]
+            if pending.item is not None:
+                self.remove(pending.item.queue_id)
+            pending.callback(None, ErrorCode.NOTIME)
+            return
+        self.statistics["retransmissions"] += 1
+        self._transmit_add(pending)
+
+    def _handle_add(self, frame: QueueAdd) -> None:
+        assert self._channel is not None
+        self.statistics["adds_received"] += 1
+        queue = self.queues.get(frame.queue_id)
+        if queue is None or not self.accept_policy(frame.request):
+            self.statistics["rejects_sent"] += 1
+            self._channel.send(QueueReject(origin=self.node_name,
+                                           comm_seq=frame.comm_seq,
+                                           queue_id=frame.queue_id,
+                                           reason=ErrorCode.DENIED))
+            return
+        if self.is_master:
+            # Peer (slave) origin: assign the sequence number here.
+            queue_seq = next(self._master_seq[frame.queue_id])
+        else:
+            # Master origin: sequence number was assigned by the master.
+            if frame.queue_seq is None:
+                raise ValueError("ADD from master is missing a queue sequence")
+            queue_seq = frame.queue_seq
+        if queue.is_full:
+            self.statistics["rejects_sent"] += 1
+            self._channel.send(QueueReject(origin=self.node_name,
+                                           comm_seq=frame.comm_seq,
+                                           queue_id=frame.queue_id,
+                                           reason=ErrorCode.REJECTED))
+            return
+        existing = queue.get(queue_seq)
+        if existing is None:
+            item = self._make_item(frame.request, frame.queue_id, queue_seq,
+                                   frame.schedule_cycle, frame.timeout_cycle)
+            item.acknowledged = True
+            queue.add(item)
+            if self.on_item_added is not None:
+                self.on_item_added(item)
+        self.statistics["acks_sent"] += 1
+        self._channel.send(QueueAck(origin=self.node_name,
+                                    comm_seq=frame.comm_seq,
+                                    queue_id=frame.queue_id,
+                                    queue_seq=queue_seq))
+
+    def _handle_ack(self, frame: QueueAck) -> None:
+        pending = self._pending.pop(frame.comm_seq, None)
+        if pending is None:
+            return  # duplicate ACK after retransmission
+        if pending.item is not None:
+            item = pending.item
+        else:
+            # Slave origin: we only now learn the queue sequence number.
+            item = self._make_item(pending.frame.request, frame.queue_id,
+                                   frame.queue_seq,
+                                   pending.frame.schedule_cycle,
+                                   pending.frame.timeout_cycle)
+            queue = self.queues[frame.queue_id]
+            if queue.get(frame.queue_seq) is None:
+                queue.add(item)
+        item.acknowledged = True
+        if self.on_item_added is not None:
+            self.on_item_added(item)
+        pending.callback(item, None)
+
+    def _handle_reject(self, frame: QueueReject) -> None:
+        pending = self._pending.pop(frame.comm_seq, None)
+        if pending is None:
+            return
+        if pending.item is not None:
+            self.remove(pending.item.queue_id)
+        pending.callback(None, frame.reason)
+
+    def _make_item(self, request: EntanglementRequest, queue_id: int,
+                   queue_seq: int, schedule_cycle: int,
+                   timeout_cycle: Optional[int]) -> QueueItem:
+        return QueueItem(
+            request=request,
+            queue_id=AbsoluteQueueId(queue_id, queue_seq),
+            schedule_cycle=schedule_cycle,
+            timeout_cycle=timeout_cycle,
+            added_at=self.now,
+            pairs_remaining=request.number,
+            acknowledged=False,
+        )

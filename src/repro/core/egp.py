@@ -1,0 +1,726 @@
+"""Entanglement Generation Protocol (EGP) — the link layer (paper Section 5.2).
+
+The EGP turns the physical layer's entanglement attempts into the robust
+service defined in Section 4.1: higher layers submit CREATE requests and
+receive OK messages (with entanglement identifiers and goodness estimates) or
+error messages (UNSUPP, TIMEOUT, OUTOFMEM, MEMEXCEEDED, DENIED, EXPIRE).
+
+One EGP instance runs at each controllable node.  Its building blocks are the
+distributed queue (agreement on which request to serve), the quantum memory
+manager (qubit allocation), the fidelity estimation unit (translating F_min
+into generation parameters) and a scheduling strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.distributed_queue import DistributedQueue, QueueItem
+from repro.core.feu import FidelityEstimationUnit
+from repro.core.messages import (
+    AbsoluteQueueId,
+    EntanglementId,
+    EntanglementRequest,
+    ErrorCode,
+    ErrorMessage,
+    ExpireAck,
+    ExpireNotice,
+    MHPError,
+    MHPReply,
+    OkMessage,
+    PollResponse,
+    RequestType,
+)
+from repro.core.mhp import NodeMHP
+from repro.core.qmm import QuantumMemoryManager, QubitAllocation
+from repro.core.scheduler import SchedulingStrategy
+from repro.hardware.nv_device import NVQuantumProcessor
+from repro.hardware.pair import EntangledPair
+from repro.hardware.parameters import ScenarioConfig
+from repro.quantum.fidelity import qber_from_fidelity_werner
+from repro.sim.channel import ClassicalChannel
+from repro.sim.engine import SimulationEngine
+from repro.sim.entity import Protocol
+
+#: Measurement bases cycled through for measure-directly requests when the
+#: request does not pin a basis.  Indexed by the midpoint sequence number so
+#: that both nodes pick the same basis without extra communication.
+_MEASURE_BASES = ("X", "Y", "Z")
+
+
+@dataclass
+class _InFlightAttempt:
+    """Book-keeping for an attempt whose REPLY is still outstanding."""
+
+    cycle: int
+    queue_id: AbsoluteQueueId
+    create_id: int
+    request_type: RequestType
+    alpha: float
+    pair_index: int
+    allocation: Optional[QubitAllocation]
+    started_at: float
+
+
+@dataclass
+class _PendingExpire:
+    """An EXPIRE notice awaiting acknowledgement from the peer."""
+
+    notice: ExpireNotice
+    retries: int = 0
+
+
+class EGP(Protocol):
+    """Link-layer Entanglement Generation Protocol for one node.
+
+    Parameters
+    ----------
+    engine, node_name, peer_name:
+        Simulation engine and the names of this node and its peer.
+    scenario:
+        Hardware scenario configuration.
+    device:
+        This node's NV quantum processor.
+    mhp:
+        The node-side MHP instance (physical layer).
+    dqp:
+        This node's end of the distributed queue.
+    feu:
+        Fidelity estimation unit.
+    scheduler:
+        Scheduling strategy (FCFS or WFQ variants).
+    rng:
+        Random generator (measurement sampling).
+    emission_multiplexing:
+        Allow measure-directly attempts in every MHP cycle without waiting for
+        the previous REPLY (Section 5.2.5).
+    """
+
+    #: Retransmission interval and limit for EXPIRE notices.
+    EXPIRE_RETRY_INTERVAL = 5e-3
+    EXPIRE_MAX_RETRIES = 10
+
+    def __init__(self, engine: SimulationEngine, node_name: str, peer_name: str,
+                 scenario: ScenarioConfig, device: NVQuantumProcessor,
+                 mhp: NodeMHP, dqp: DistributedQueue,
+                 feu: FidelityEstimationUnit, scheduler: SchedulingStrategy,
+                 rng: Optional[np.random.Generator] = None,
+                 emission_multiplexing: bool = True,
+                 attempt_batch_size: int = 1) -> None:
+        super().__init__(engine, name=f"EGP-{node_name}")
+        self.node_name = node_name
+        self.peer_name = peer_name
+        self.scenario = scenario
+        self.device = device
+        self.mhp = mhp
+        self.dqp = dqp
+        self.feu = feu
+        self.scheduler = scheduler
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.emission_multiplexing = emission_multiplexing
+        if attempt_batch_size < 1:
+            raise ValueError(f"attempt_batch_size must be >= 1, "
+                             f"got {attempt_batch_size}")
+        self.attempt_batch_size = attempt_batch_size
+        self.qmm = QuantumMemoryManager(device)
+
+        # Wiring into the MHP and DQP.
+        self.mhp.poll_callback = self.handle_poll
+        self.mhp.reply_callback = self.handle_reply
+        self.dqp.on_item_added = self._on_queue_item_added
+
+        self._peer_channel: Optional[ClassicalChannel] = None
+        self._inflight: dict[int, _InFlightAttempt] = {}
+        self._blocking_cycle: Optional[int] = None
+        self._busy_until = 0.0
+        #: Earliest time the next K-type attempt may start.  Derived from the
+        #: attempt cycle plus the scenario's K attempt spacing so that both
+        #: nodes independently compute the same value and stay aligned on the
+        #: same MHP cycle despite their different reply delays.
+        self._next_keep_attempt_time = 0.0
+        self._expected_sequence = 1
+        self._keep_attempt_time_since_reinit = 0.0
+        self._pending_expires: dict[int, _PendingExpire] = {}
+        self._expire_counter = 0
+
+        #: Higher-layer callbacks.
+        self.ok_listeners: list[Callable[[OkMessage], None]] = []
+        self.error_listeners: list[Callable[[ErrorMessage], None]] = []
+
+        self.statistics = {
+            "creates_accepted": 0,
+            "creates_rejected": 0,
+            "oks_issued": 0,
+            "errors_issued": 0,
+            "expires_sent": 0,
+            "expires_received": 0,
+            "attempts": 0,
+            "successes": 0,
+            "allocation_failures": 0,
+            "lost_reply_recoveries": 0,
+            "timeouts": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def attach_peer_channel(self, channel: ClassicalChannel) -> None:
+        """Set the classical channel used for EGP<->EGP messages (EXPIRE)."""
+        self._peer_channel = channel
+
+    def receive_peer(self, message: object) -> None:
+        """Entry point for EGP-level messages from the peer node."""
+        if isinstance(message, ExpireNotice):
+            self._handle_expire_notice(message)
+        elif isinstance(message, ExpireAck):
+            self._handle_expire_ack(message)
+        else:
+            raise TypeError(f"unexpected EGP message {type(message).__name__}")
+
+    def add_ok_listener(self, callback: Callable[[OkMessage], None]) -> None:
+        """Register a higher-layer callback for OK messages."""
+        self.ok_listeners.append(callback)
+
+    def add_error_listener(self, callback: Callable[[ErrorMessage], None]) -> None:
+        """Register a higher-layer callback for error messages."""
+        self.error_listeners.append(callback)
+
+    # ------------------------------------------------------------------ #
+    # Higher-layer API
+    # ------------------------------------------------------------------ #
+    def create(self, request: EntanglementRequest) -> int:
+        """Submit a CREATE request (Section 4.1.1).
+
+        Returns the create id; completion or failure is reported through the
+        OK / error listeners.
+        """
+        request.origin = self.node_name
+        request.create_time = self.now
+        if not request.remote_node_id:
+            request.remote_node_id = self.peer_name
+
+        estimate = self.feu.estimate_for_fidelity(request.min_fidelity,
+                                                  request.request_type)
+        if estimate is None:
+            self._reject(request, ErrorCode.UNSUPP,
+                         detail="requested fidelity unattainable")
+            return request.create_id
+        if request.max_time > 0:
+            min_completion = estimate.minimum_completion_time(request.number)
+            if min_completion > request.max_time:
+                self._reject(request, ErrorCode.UNSUPP,
+                             detail=f"needs ~{min_completion:.3f}s "
+                                    f"> max_time {request.max_time}s")
+                return request.create_id
+
+        pairs_simultaneously = request.number if request.atomic else 1
+        memory_error = self.qmm.can_satisfy(request.request_type,
+                                            pairs_simultaneously)
+        if memory_error is ErrorCode.MEMEXCEEDED:
+            self._reject(request, ErrorCode.MEMEXCEEDED,
+                         detail="atomic request exceeds quantum memory")
+            return request.create_id
+
+        schedule_cycle = self._schedule_cycle_for_new_request()
+        timeout_cycle = None
+        if request.max_time > 0:
+            timeout_cycle = self.mhp.next_cycle_at_or_after(
+                self.now + request.max_time)
+        self.dqp.add(request, schedule_cycle, timeout_cycle,
+                     callback=lambda item, error, req=request:
+                     self._on_add_resolved(req, item, error))
+        return request.create_id
+
+    def release_delivered_pair(self, logical_qubit_id: int) -> None:
+        """Free the storage qubit of a delivered pair (called by higher layer)."""
+        self.qmm.release_storage(logical_qubit_id)
+        self.mhp.notify_work()
+
+    # ------------------------------------------------------------------ #
+    # CREATE handling internals
+    # ------------------------------------------------------------------ #
+    def _schedule_cycle_for_new_request(self) -> int:
+        """Earliest MHP cycle at which both nodes can know about the request."""
+        delay = self.scenario.classical.node_to_node_delay
+        # Two-way handshake of the DQP plus one cycle of margin.
+        earliest = self.now + 2 * delay + self.scenario.timing.mhp_cycle
+        return self.mhp.next_cycle_at_or_after(earliest)
+
+    def _on_add_resolved(self, request: EntanglementRequest,
+                         item: Optional[QueueItem],
+                         error: Optional[ErrorCode]) -> None:
+        if error is not None:
+            code = error
+            if code is ErrorCode.DENIED:
+                detail = "peer refused the request"
+            elif code is ErrorCode.REJECTED:
+                detail = "distributed queue full"
+            else:
+                detail = "could not enqueue request in time"
+            self._reject(request, code, detail=detail)
+            return
+        self.statistics["creates_accepted"] += 1
+
+    def _on_queue_item_added(self, item: QueueItem) -> None:
+        cycle = self.mhp.current_cycle()
+        self.scheduler.on_enqueue(item, cycle)
+        if item.timeout_cycle is not None:
+            timeout_time = self.mhp.cycle_start(item.timeout_cycle)
+            self.call_at(max(timeout_time, self.now),
+                         lambda qid=item.queue_id: self._handle_timeout(qid),
+                         name=f"{self.name}.request_timeout")
+        start_time = self.mhp.cycle_start(item.schedule_cycle)
+        self.mhp.notify_work(not_before=start_time)
+
+    def _reject(self, request: EntanglementRequest, error: ErrorCode,
+                detail: str = "") -> None:
+        self.statistics["creates_rejected"] += 1
+        self._emit_error(ErrorMessage(create_id=request.create_id, error=error,
+                                      origin=request.origin,
+                                      purpose_id=request.purpose_id,
+                                      detail=detail))
+
+    def _handle_timeout(self, queue_id: AbsoluteQueueId) -> None:
+        item = self.dqp.get(queue_id)
+        if item is None or item.pairs_remaining <= 0:
+            return
+        self.dqp.remove(queue_id)
+        self.statistics["timeouts"] += 1
+        if item.request.origin == self.node_name:
+            self._emit_error(ErrorMessage(create_id=item.request.create_id,
+                                          error=ErrorCode.TIMEOUT,
+                                          origin=self.node_name,
+                                          purpose_id=item.request.purpose_id,
+                                          detail="request deadline exceeded"))
+
+    # ------------------------------------------------------------------ #
+    # MHP poll handling (the scheduler's "trigger pair" step)
+    # ------------------------------------------------------------------ #
+    def handle_poll(self) -> PollResponse:
+        """Answer the MHP's poll for this cycle (paper Protocol 2, step 2)."""
+        now = self.now
+        if now < self._busy_until:
+            self.mhp.notify_work(not_before=self._busy_until)
+            return PollResponse.no_attempt()
+        cycle = self.mhp.current_cycle()
+        if self._blocking_cycle is not None:
+            return PollResponse.no_attempt()
+
+        ready = self.dqp.ready_items(cycle)
+        if not ready:
+            # Nothing is ready yet; if items are merely waiting for their
+            # schedule cycle, make sure the MHP polls again when the earliest
+            # one becomes ready (avoids a dead stop on rounding edge cases).
+            pending = [item.schedule_cycle
+                       for queue in self.dqp.queues.values()
+                       for item in queue.items_in_order()
+                       if item.pairs_remaining > 0]
+            if pending:
+                self.mhp.notify_work(
+                    not_before=self.mhp.cycle_start(min(pending)) +
+                    self.scenario.timing.mhp_cycle)
+            return PollResponse.no_attempt()
+        item = self.scheduler.select(ready, cycle)
+        if item is None:
+            return PollResponse.no_attempt()
+        request = item.request
+        if (request.request_type is RequestType.KEEP
+                and now < self._next_keep_attempt_time - 1e-15):
+            self.mhp.notify_work(not_before=self._next_keep_attempt_time)
+            return PollResponse.no_attempt()
+
+        allocation: Optional[QubitAllocation] = None
+        if request.request_type is RequestType.KEEP:
+            allocation = self.qmm.allocate(RequestType.KEEP)
+            if allocation is None:
+                self.statistics["allocation_failures"] += 1
+                # Memory is temporarily unavailable: retry a little later.
+                self.mhp.notify_work(
+                    not_before=now + 10 * self.scenario.timing.mhp_cycle)
+                return PollResponse.no_attempt()
+        else:
+            if self.qmm.free_communication_qubits() < 1:
+                self.statistics["allocation_failures"] += 1
+                self.mhp.notify_work(
+                    not_before=now + 10 * self.scenario.timing.mhp_cycle)
+                return PollResponse.no_attempt()
+
+        estimate = item.metadata.get("feu_estimate")
+        if estimate is None:
+            estimate = self.feu.estimate_for_fidelity(request.min_fidelity,
+                                                      request.request_type)
+            item.metadata["feu_estimate"] = estimate
+        if estimate is None:
+            # Hardware drifted since admission; reject now.
+            self.dqp.remove(item.queue_id)
+            if request.origin == self.node_name:
+                self._reject(request, ErrorCode.UNSUPP,
+                             detail="fidelity became unattainable")
+            if allocation is not None:
+                self.qmm.release(allocation)
+            return PollResponse.no_attempt()
+
+        batch = self._granted_batch(request)
+        attempt = _InFlightAttempt(
+            cycle=cycle,
+            queue_id=item.queue_id,
+            create_id=request.create_id,
+            request_type=request.request_type,
+            alpha=estimate.alpha,
+            pair_index=item.pairs_delivered + 1,
+            allocation=allocation,
+            started_at=now,
+        )
+        self._inflight[cycle] = attempt
+        self.statistics["attempts"] += 1
+
+        blocking = (request.request_type is RequestType.KEEP
+                    or not self.emission_multiplexing)
+        if blocking:
+            self._blocking_cycle = cycle
+            self._schedule_reply_watchdog(cycle, batch)
+        if request.request_type is RequestType.KEEP:
+            # Deterministic spacing of K attempts (t_attempt / r_attempt of
+            # Section 4.4): both nodes derive the earliest next attempt from
+            # the attempt's cycle, not from when their own REPLY arrives, so
+            # their trigger cycles remain synchronised.
+            spacing = max(self.scenario.timing.attempt_spacing_k,
+                          batch * self.scenario.timing.mhp_cycle)
+            self._next_keep_attempt_time = self.mhp.cycle_start(cycle) + spacing
+
+        return PollResponse(
+            attempt=True,
+            queue_id=item.queue_id,
+            request_type=request.request_type,
+            alpha=estimate.alpha,
+            pair_index=attempt.pair_index,
+            measure_basis=request.measure_basis or "Z",
+            create_id=request.create_id,
+            max_attempts=batch,
+        )
+
+    def _granted_batch(self, request: EntanglementRequest) -> int:
+        """How many consecutive attempts the MHP may make without re-polling.
+
+        Batched operation (Section 5.1) is only allowed when nothing between
+        attempts depends on the previous REPLY: measure-directly requests with
+        emission multiplexing always qualify; create-and-keep requests qualify
+        only when the round-trip to the midpoint fits within one MHP cycle
+        (the Lab scenario) — otherwise an attempt must wait for the previous
+        REPLY and batching would misrepresent the attempt rate.
+        """
+        if self.attempt_batch_size <= 1:
+            return 1
+        timing = self.scenario.timing
+        round_trip = 2 * max(timing.midpoint_delay_a, timing.midpoint_delay_b)
+        if request.request_type is RequestType.MEASURE:
+            if self.emission_multiplexing:
+                return self.attempt_batch_size
+            return 1
+        if round_trip <= timing.mhp_cycle:
+            return self.attempt_batch_size
+        return 1
+
+    def _account_carbon_reinitialisation(self, attempts: int) -> None:
+        """Model the periodic carbon re-initialisation overhead for K attempts.
+
+        The carbon memory must be re-initialised for ``carbon_reinit_duration``
+        every ``carbon_reinit_period`` of attempt time (Section D.3.3), which
+        is what makes E ~= 1.1 for K requests in the Lab scenario.
+        """
+        gates = self.scenario.gates
+        self._keep_attempt_time_since_reinit += (
+            attempts * self.scenario.timing.mhp_cycle)
+        while self._keep_attempt_time_since_reinit >= gates.carbon_reinit_period:
+            self._keep_attempt_time_since_reinit -= gates.carbon_reinit_period
+            self._busy_until = max(self._busy_until,
+                                   self.now + gates.carbon_reinit_duration)
+
+    def _schedule_reply_watchdog(self, cycle: int, batch: int = 1) -> None:
+        timing = self.scenario.timing
+        deadline = (2 * max(timing.midpoint_delay_a, timing.midpoint_delay_b)
+                    + (batch + 20) * timing.mhp_cycle)
+        self.call_after(deadline,
+                        lambda c=cycle: self._reply_watchdog(c),
+                        name=f"{self.name}.reply_watchdog")
+
+    def _reply_watchdog(self, cycle: int) -> None:
+        """Recover from a REPLY that never arrived (lost classical frame)."""
+        attempt = self._inflight.pop(cycle, None)
+        if attempt is None:
+            return
+        self.statistics["lost_reply_recoveries"] += 1
+        if self._blocking_cycle == cycle:
+            self._blocking_cycle = None
+        if attempt.allocation is not None:
+            self.qmm.release(attempt.allocation)
+        self.mhp.notify_work()
+
+    # ------------------------------------------------------------------ #
+    # MHP reply handling
+    # ------------------------------------------------------------------ #
+    def handle_reply(self, reply: MHPReply) -> None:
+        """Process a RESULT forwarded by the MHP (paper Protocol 2, step 3)."""
+        attempt = self._inflight.pop(reply.cycle, None)
+        if self._blocking_cycle == reply.cycle:
+            self._blocking_cycle = None
+        if attempt is not None and attempt.request_type is RequestType.KEEP:
+            self._account_carbon_reinitialisation(reply.attempts_used)
+
+        if reply.error is not MHPError.NONE:
+            if attempt is not None and attempt.allocation is not None:
+                self.qmm.release(attempt.allocation)
+            self.mhp.notify_work()
+            return
+
+        if not reply.success:
+            if attempt is not None and attempt.allocation is not None:
+                self.qmm.release(attempt.allocation)
+            self.mhp.notify_work()
+            return
+
+        item = self.dqp.get(reply.queue_id) if reply.queue_id else None
+        if attempt is None or item is None or reply.pair is None:
+            # No local record: the request expired locally, or state is
+            # inconsistent.  Free resources and let the peer know the pair is
+            # unusable (Protocol 2, step 3(b)).
+            if attempt is not None and attempt.allocation is not None:
+                self.qmm.release(attempt.allocation)
+            self._expected_sequence = reply.sequence + 1
+            if reply.queue_id is not None:
+                self._send_expire(reply.queue_id,
+                                  create_id=attempt.create_id if attempt else 0,
+                                  low=reply.sequence, high=reply.sequence)
+            self.mhp.notify_work()
+            return
+
+        # Sequence-number processing (Protocol 2, step 3(c)iii).
+        if reply.sequence > self._expected_sequence:
+            self._emit_error(ErrorMessage(
+                create_id=item.request.create_id, error=ErrorCode.EXPIRE,
+                origin=self.node_name, purpose_id=item.request.purpose_id,
+                sequence_low=self._expected_sequence,
+                sequence_high=reply.sequence - 1,
+                detail="missed midpoint sequence numbers"))
+            self._send_expire(item.queue_id, item.request.create_id,
+                              low=self._expected_sequence,
+                              high=reply.sequence - 1)
+            self._expected_sequence = reply.sequence + 1
+            if attempt.allocation is not None:
+                self.qmm.release(attempt.allocation)
+            self.mhp.notify_work()
+            return
+        if reply.sequence < self._expected_sequence:
+            if attempt.allocation is not None:
+                self.qmm.release(attempt.allocation)
+            self.mhp.notify_work()
+            return
+        self._expected_sequence = reply.sequence + 1
+        self.statistics["successes"] += 1
+
+        pair: EntangledPair = reply.pair
+        if item.request.request_type is RequestType.KEEP:
+            # K requests hold the electron until the REPLY arrives, so it
+            # decoheres during the round trip.  M requests measure the
+            # communication qubit right after photon emission (Section 5.1.2),
+            # long before the REPLY, so no waiting decay applies.
+            self._apply_reply_wait_decay(pair, attempt)
+        self._apply_correction_if_needed(pair, reply, item)
+
+        request = item.request
+        if request.max_time > 0 and self.now > request.create_time + request.max_time:
+            # Too late: the deadline passed while the attempt was in flight.
+            self._handle_timeout(item.queue_id)
+            if attempt.allocation is not None:
+                self.qmm.release(attempt.allocation)
+            self.mhp.notify_work()
+            return
+
+        if request.request_type is RequestType.KEEP:
+            ok = self._deliver_keep(pair, attempt, item)
+        else:
+            ok = self._deliver_measure(pair, attempt, item, reply)
+
+        item.pairs_remaining -= 1
+        item.pairs_delivered += 1
+        self.scheduler.on_pair_delivered(item, reply.cycle)
+
+        if request.consecutive:
+            self._emit_ok(ok)
+        else:
+            pending = item.metadata.setdefault("pending_oks", [])
+            pending.append(ok)
+            if item.pairs_remaining <= 0:
+                for buffered in pending:
+                    self._emit_ok(buffered)
+                pending.clear()
+
+        if item.pairs_remaining <= 0:
+            self.dqp.remove(item.queue_id)
+        self.mhp.notify_work(not_before=max(self._busy_until, self.now))
+
+    # ------------------------------------------------------------------ #
+    # Pair delivery helpers
+    # ------------------------------------------------------------------ #
+    def _apply_reply_wait_decay(self, pair: EntangledPair,
+                                attempt: _InFlightAttempt) -> None:
+        """Electron decoherence while the REPLY travelled back from H."""
+        elapsed = self.now - pair.created_at
+        if elapsed <= 0:
+            return
+        slot = (attempt.allocation.communication if attempt.allocation
+                else self.device.slots[0])
+        self.device.apply_idle_decay(pair, slot, elapsed)
+
+    def _apply_correction_if_needed(self, pair: EntangledPair,
+                                    reply: MHPReply, item: QueueItem) -> None:
+        """Convert |Psi-> into |Psi+> at the request origin (Eq. 13)."""
+        if reply.outcome == 2:
+            if item.request.origin == self.node_name:
+                self.device.apply_correction(pair)
+                pair.corrected = True
+        else:
+            pair.corrected = True
+
+    def _deliver_keep(self, pair: EntangledPair, attempt: _InFlightAttempt,
+                      item: QueueItem) -> OkMessage:
+        assert attempt.allocation is not None and attempt.allocation.storage is not None
+        duration = self.device.move_to_memory(pair,
+                                              attempt.allocation.communication,
+                                              attempt.allocation.storage)
+        self._busy_until = max(self._busy_until, self.now + duration)
+        goodness = self.feu.goodness(attempt.alpha, RequestType.KEEP)
+        request = item.request
+        ok = OkMessage(
+            create_id=request.create_id,
+            entanglement_id=EntanglementId("A", "B", pair.midpoint_sequence),
+            purpose_id=request.purpose_id,
+            remote_node_id=request.remote_node_id,
+            origin=request.origin,
+            goodness=goodness,
+            goodness_time=self.now,
+            create_time=request.create_time,
+            logical_qubit_id=attempt.allocation.storage.qubit_id,
+            pair_index=attempt.pair_index,
+            total_pairs=request.number,
+            request_type=RequestType.KEEP,
+        )
+        ok.pair = pair  # simulation-only handle for instrumentation
+        return ok
+
+    def _deliver_measure(self, pair: EntangledPair, attempt: _InFlightAttempt,
+                         item: QueueItem, reply: MHPReply) -> OkMessage:
+        request = item.request
+        basis = request.measure_basis
+        if basis is None:
+            basis = _MEASURE_BASES[pair.midpoint_sequence % len(_MEASURE_BASES)]
+        outcome = self.device.measure_pair(pair, basis)
+        self._busy_until = max(self._busy_until,
+                               self.now + self.device.readout_duration())
+        fidelity_estimate = self.feu.goodness(attempt.alpha, RequestType.MEASURE)
+        goodness = qber_from_fidelity_werner(fidelity_estimate)
+        if attempt.allocation is not None:
+            self.qmm.release(attempt.allocation)
+        ok = OkMessage(
+            create_id=request.create_id,
+            entanglement_id=EntanglementId("A", "B", pair.midpoint_sequence),
+            purpose_id=request.purpose_id,
+            remote_node_id=request.remote_node_id,
+            origin=request.origin,
+            goodness=goodness,
+            goodness_time=self.now,
+            create_time=request.create_time,
+            measurement_outcome=outcome,
+            measurement_basis=basis,
+            pair_index=attempt.pair_index,
+            total_pairs=request.number,
+            request_type=RequestType.MEASURE,
+        )
+        ok.pair = pair  # simulation-only handle for instrumentation
+        return ok
+
+    # ------------------------------------------------------------------ #
+    # EXPIRE handling
+    # ------------------------------------------------------------------ #
+    def _send_expire(self, queue_id: AbsoluteQueueId, create_id: int,
+                     low: int, high: int) -> None:
+        if self._peer_channel is None:
+            return
+        self.statistics["expires_sent"] += 1
+        self._expire_counter += 1
+        notice = ExpireNotice(origin=self.node_name, create_id=create_id,
+                              queue_id=queue_id,
+                              expected_sequence=self._expected_sequence,
+                              sequence_low=low, sequence_high=high)
+        pending = _PendingExpire(notice=notice)
+        key = self._expire_counter
+        self._pending_expires[key] = pending
+        self._transmit_expire(key)
+
+    def _transmit_expire(self, key: int) -> None:
+        pending = self._pending_expires.get(key)
+        if pending is None or self._peer_channel is None:
+            return
+        self._peer_channel.send(pending.notice)
+        pending.retries += 1
+        if pending.retries <= self.EXPIRE_MAX_RETRIES:
+            self.call_after(self.EXPIRE_RETRY_INTERVAL,
+                            lambda k=key: self._retry_expire(k),
+                            name=f"{self.name}.expire_retry")
+        else:
+            del self._pending_expires[key]
+
+    def _retry_expire(self, key: int) -> None:
+        if key in self._pending_expires:
+            self._transmit_expire(key)
+
+    def _handle_expire_notice(self, notice: ExpireNotice) -> None:
+        self.statistics["expires_received"] += 1
+        # Align the expected sequence number with the peer and revoke any OKs
+        # in the affected range by notifying the higher layer.
+        self._expected_sequence = max(self._expected_sequence,
+                                      notice.expected_sequence)
+        self._emit_error(ErrorMessage(create_id=notice.create_id,
+                                      error=ErrorCode.EXPIRE,
+                                      origin=notice.origin,
+                                      sequence_low=notice.sequence_low,
+                                      sequence_high=notice.sequence_high,
+                                      detail="peer expired entanglement"))
+        if self._peer_channel is not None:
+            self._peer_channel.send(ExpireAck(
+                origin=self.node_name, queue_id=notice.queue_id,
+                expected_sequence=self._expected_sequence))
+
+    def _handle_expire_ack(self, ack: ExpireAck) -> None:
+        for key, pending in list(self._pending_expires.items()):
+            if pending.notice.queue_id == ack.queue_id:
+                del self._pending_expires[key]
+
+    # ------------------------------------------------------------------ #
+    # Emission helpers
+    # ------------------------------------------------------------------ #
+    def _emit_ok(self, ok: OkMessage) -> None:
+        self.statistics["oks_issued"] += 1
+        for listener in list(self.ok_listeners):
+            listener(ok)
+
+    def _emit_error(self, error: ErrorMessage) -> None:
+        self.statistics["errors_issued"] += 1
+        for listener in list(self.error_listeners):
+            listener(error)
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by tests and metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def expected_sequence(self) -> int:
+        """Next midpoint sequence number this node expects."""
+        return self._expected_sequence
+
+    def queue_length(self) -> int:
+        """Current number of outstanding requests in the local queues."""
+        return self.dqp.total_length()

@@ -1,0 +1,331 @@
+"""Message and request types exchanged between the layers (paper Appendix E).
+
+Every packet format of the paper's Appendix E has a dataclass counterpart
+here.  We keep them as plain Python objects rather than byte strings: the
+evaluation studies protocol behaviour, not wire encoding.  Field names follow
+the packet diagrams (Figures 24, 27, 28, 31-39).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import NamedTuple, Optional
+
+from repro.quantum.states import BellIndex
+
+
+class RequestType(Enum):
+    """CREATE request type: create-and-keep (K) or create-and-measure (M)."""
+
+    KEEP = "K"
+    MEASURE = "M"
+
+
+class Priority(IntEnum):
+    """Request priorities used by the scheduler (lower value = higher priority).
+
+    The paper uses three priorities, one per use case: network layer (NL),
+    create-and-keep applications (CK) and measure-directly applications (MD).
+    """
+
+    NL = 1
+    CK = 2
+    MD = 3
+
+
+class ErrorCode(Enum):
+    """Error conditions the EGP can report to higher layers (Section 4.1.2)."""
+
+    TIMEOUT = "TIMEOUT"
+    UNSUPP = "UNSUPP"
+    MEMEXCEEDED = "MEMEXCEEDED"
+    OUTOFMEM = "OUTOFMEM"
+    DENIED = "DENIED"
+    EXPIRE = "EXPIRE"
+    NOTIME = "NOTIME"
+    REJECTED = "REJECTED"
+
+
+class MHPError(Enum):
+    """Errors reported by the MHP / midpoint (paper Protocol 1)."""
+
+    NONE = "OK"
+    GEN_FAIL = "GEN_FAIL"
+    QUEUE_MISMATCH = "QUEUE_MISMATCH"
+    TIME_MISMATCH = "TIME_MISMATCH"
+    NO_MESSAGE_OTHER = "NO_MESSAGE_OTHER"
+
+
+class EntanglementId(NamedTuple):
+    """Network-unique identifier of an entangled pair (Section 4.1.2).
+
+    Composed of the two node identifiers and the midpoint sequence number, as
+    produced by the EGP when it issues the OK.
+    """
+
+    node_a: str
+    node_b: str
+    sequence: int
+
+
+class AbsoluteQueueId(NamedTuple):
+    """Absolute queue id (queue number, sequence within queue) — paper (j, i_j)."""
+
+    queue_id: int
+    queue_seq: int
+
+
+_create_id_counter = itertools.count(1)
+
+
+def next_create_id() -> int:
+    """Monotonically increasing identifier for CREATE requests."""
+    return next(_create_id_counter)
+
+
+@dataclass
+class EntanglementRequest:
+    """A CREATE request from the higher layer (Section 4.1.1, Figure 31).
+
+    Parameters
+    ----------
+    remote_node_id:
+        The peer with whom entanglement is desired.
+    request_type:
+        ``RequestType.KEEP`` (store) or ``RequestType.MEASURE`` (measure
+        directly).
+    number:
+        Number of entangled pairs requested.
+    atomic:
+        All pairs must be available simultaneously.
+    consecutive:
+        Issue an OK per generated pair (typical for the NL use case) instead
+        of a single OK when the whole request completes.
+    max_time:
+        Maximum time in seconds the requester will wait (0 = no limit).
+    purpose_id:
+        Application tag, analogous to a port number.
+    priority:
+        Scheduling priority (NL/CK/MD).
+    min_fidelity:
+        Minimum acceptable fidelity of each delivered pair.
+    origin:
+        Name of the node at which the request was submitted.
+    measure_basis:
+        Optional fixed measurement basis for M requests; ``None`` selects a
+        random basis per pair (as in the paper's MD workload).
+    """
+
+    remote_node_id: str
+    request_type: RequestType = RequestType.KEEP
+    number: int = 1
+    atomic: bool = False
+    consecutive: bool = False
+    max_time: float = 0.0
+    purpose_id: int = 0
+    priority: Priority = Priority.CK
+    min_fidelity: float = 0.5
+    origin: str = ""
+    measure_basis: Optional[str] = None
+    create_id: int = field(default_factory=next_create_id)
+    #: Timestamp the EGP stamped on submission (filled in by the EGP).
+    create_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.number < 1:
+            raise ValueError(f"number of pairs must be >= 1, got {self.number}")
+        if not 0.0 <= self.min_fidelity <= 1.0:
+            raise ValueError(f"min_fidelity {self.min_fidelity} not in [0, 1]")
+        if self.max_time < 0:
+            raise ValueError(f"max_time must be >= 0, got {self.max_time}")
+        if isinstance(self.request_type, str):
+            self.request_type = RequestType(self.request_type)
+        if not isinstance(self.priority, Priority):
+            self.priority = Priority(self.priority)
+
+    @property
+    def is_measure_directly(self) -> bool:
+        """True for M (measure) requests."""
+        return self.request_type is RequestType.MEASURE
+
+
+@dataclass
+class OkMessage:
+    """OK returned to the higher layer per delivered pair or request
+    (Section 4.1.2, Figures 37-38)."""
+
+    create_id: int
+    entanglement_id: EntanglementId
+    purpose_id: int
+    remote_node_id: str
+    origin: str
+    #: Goodness: fidelity estimate for K requests, QBER-based estimate for M.
+    goodness: float
+    goodness_time: float
+    create_time: float
+    #: Logical qubit holding the local half (K requests only).
+    logical_qubit_id: Optional[int] = None
+    #: Measurement outcome and basis (M requests only).
+    measurement_outcome: Optional[int] = None
+    measurement_basis: Optional[str] = None
+    #: Which pair of the request this OK corresponds to (1-based).
+    pair_index: int = 1
+    #: Total number of pairs requested.
+    total_pairs: int = 1
+    request_type: RequestType = RequestType.KEEP
+
+    @property
+    def is_final(self) -> bool:
+        """True when this OK completes its request."""
+        return self.pair_index >= self.total_pairs
+
+
+@dataclass
+class ErrorMessage:
+    """ERR returned to the higher layer (Figure 39)."""
+
+    create_id: int
+    error: ErrorCode
+    origin: str
+    purpose_id: int = 0
+    #: Range of midpoint sequence numbers affected by an EXPIRE, if any.
+    sequence_low: Optional[int] = None
+    sequence_high: Optional[int] = None
+    detail: str = ""
+
+
+@dataclass
+class ExpireNotice:
+    """EXPIRE message exchanged between peer EGPs (Figure 32)."""
+
+    origin: str
+    create_id: int
+    queue_id: AbsoluteQueueId
+    #: Sender's up-to-date expected midpoint sequence number.
+    expected_sequence: int
+    #: Range of sequence numbers whose OKs must be revoked.
+    sequence_low: int = 0
+    sequence_high: int = 0
+
+
+@dataclass
+class ExpireAck:
+    """Acknowledgement of an EXPIRE notice (Figure 33)."""
+
+    origin: str
+    queue_id: AbsoluteQueueId
+    expected_sequence: int
+
+
+# --------------------------------------------------------------------------- #
+# MHP <-> EGP and MHP <-> midpoint messages
+# --------------------------------------------------------------------------- #
+@dataclass
+class PollResponse:
+    """EGP response to an MHP poll (paper Figure 35).
+
+    ``attempt`` is False when the EGP has nothing to generate this cycle.
+    """
+
+    attempt: bool
+    queue_id: Optional[AbsoluteQueueId] = None
+    request_type: RequestType = RequestType.KEEP
+    alpha: float = 0.0
+    #: Pair number within the request (for bookkeeping/diagnostics).
+    pair_index: int = 0
+    #: Measurement basis to use for M requests.
+    measure_basis: str = "Z"
+    #: Whether this attempt is a fidelity-estimation test round.
+    test_round: bool = False
+    create_id: Optional[int] = None
+    #: Number of consecutive MHP cycles the physical layer may attempt for
+    #: this request without polling again (batched operation, Section 5.1).
+    max_attempts: int = 1
+
+    @classmethod
+    def no_attempt(cls) -> "PollResponse":
+        """A "no" poll response."""
+        return cls(attempt=False)
+
+
+@dataclass
+class GenMessage:
+    """GEN frame sent from a node MHP to the heralding midpoint (Figure 27)."""
+
+    origin: str
+    queue_id: AbsoluteQueueId
+    cycle: int
+    alpha: float
+    timestamp: float
+    #: Number of consecutive attempts covered by this frame (batching).
+    batch_size: int = 1
+
+
+@dataclass
+class MHPReply:
+    """REPLY frame from the midpoint and the RESULT passed up to the EGP
+    (Figures 28 and 36)."""
+
+    outcome: int                       # 0 = failure, 1 = |Psi+>, 2 = |Psi->
+    sequence: int                      # midpoint sequence number
+    queue_id: Optional[AbsoluteQueueId]
+    peer_queue_id: Optional[AbsoluteQueueId]
+    error: MHPError = MHPError.NONE
+    cycle: int = 0
+    #: Simulation-level handle to the heralded pair (success only).
+    pair: Optional[object] = None
+    #: Number of attempts consumed by this reply (1 unless batched).
+    attempts_used: int = 1
+
+    @property
+    def success(self) -> bool:
+        """True when entanglement was heralded."""
+        return self.error is MHPError.NONE and self.outcome in (1, 2)
+
+    @property
+    def bell_index(self) -> Optional[BellIndex]:
+        """Heralded Bell state for successful replies."""
+        if self.outcome == 1:
+            return BellIndex.PSI_PLUS
+        if self.outcome == 2:
+            return BellIndex.PSI_MINUS
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Distributed queue (DQP) frames
+# --------------------------------------------------------------------------- #
+@dataclass
+class QueueAdd:
+    """ADD frame of the distributed queue protocol (Figure 24)."""
+
+    origin: str
+    comm_seq: int
+    queue_id: int
+    queue_seq: Optional[int]
+    request: EntanglementRequest
+    schedule_cycle: int
+    timeout_cycle: Optional[int]
+    initial_virtual_finish: float = 0.0
+
+
+@dataclass
+class QueueAck:
+    """ACK frame of the distributed queue protocol."""
+
+    origin: str
+    comm_seq: int
+    queue_id: int
+    queue_seq: int
+
+
+@dataclass
+class QueueReject:
+    """REJ frame of the distributed queue protocol."""
+
+    origin: str
+    comm_seq: int
+    queue_id: int
+    reason: ErrorCode = ErrorCode.DENIED

@@ -1,0 +1,325 @@
+"""Midpoint Heralding Protocol (MHP) — the physical layer (paper Section 5.1).
+
+Two cooperating pieces:
+
+``NodeMHP``
+    Runs at each controllable node.  Every MHP cycle it polls the link layer
+    (EGP); on a "yes" it triggers an entanglement generation attempt and sends
+    a GEN frame to the heralding station.  Replies from the station are
+    forwarded up to the EGP.  The MHP keeps no protocol state of its own.
+
+``MidpointHeraldingService``
+    Runs at the automated heralding station.  It pairs up GEN frames from the
+    two nodes that belong to the same cycle, verifies that their absolute
+    queue ids match, resolves the physical attempt by sampling the
+    heralded-state model, and sends REPLY frames back to both nodes.  On
+    success it assigns the unique midpoint sequence number that the EGP later
+    uses to build entanglement identifiers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.messages import GenMessage, MHPError, MHPReply, PollResponse
+from repro.hardware.heralding import HeraldedStateSampler, HeraldingOutcome
+from repro.hardware.pair import EntangledPair
+from repro.hardware.parameters import ScenarioConfig
+from repro.sim.channel import ClassicalChannel
+from repro.sim.engine import SimulationEngine
+from repro.sim.entity import Protocol
+
+
+class NodeMHP(Protocol):
+    """Node-side MHP: polls the EGP each cycle and talks to the midpoint.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    node_name:
+        "A" or "B".
+    scenario:
+        Hardware scenario; provides the MHP cycle time and attempt spacings.
+    """
+
+    def __init__(self, engine: SimulationEngine, node_name: str,
+                 scenario: ScenarioConfig) -> None:
+        super().__init__(engine, name=f"MHP-{node_name}")
+        self.node_name = node_name
+        self.scenario = scenario
+        self.cycle_time = scenario.timing.mhp_cycle
+        #: Callback into the EGP: () -> PollResponse.
+        self.poll_callback: Optional[Callable[[], PollResponse]] = None
+        #: Callback into the EGP: (MHPReply) -> None.
+        self.reply_callback: Optional[Callable[[MHPReply], None]] = None
+        self._channel: Optional[ClassicalChannel] = None
+        self._next_poll_scheduled: Optional[float] = None
+        #: End of the attempt window opened by the last GEN frame; no new
+        #: attempt may start before it (prevents overlapping attempt streams).
+        self._attempt_window_end = 0.0
+        self.attempts_triggered = 0
+        self.replies_received = 0
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def attach_channel(self, channel: ClassicalChannel) -> None:
+        """Set the classical channel towards the heralding station."""
+        self._channel = channel
+
+    def receive(self, frame: object) -> None:
+        """Entry point for REPLY frames arriving from the midpoint."""
+        if not isinstance(frame, MHPReply):
+            raise TypeError(f"unexpected MHP frame {type(frame).__name__}")
+        self.replies_received += 1
+        # A REPLY closes the attempt window it belongs to: the midpoint has
+        # already resolved every attempt covered by the corresponding GEN, so
+        # new attempts may start from the next cycle.
+        self._attempt_window_end = min(self._attempt_window_end, self.now)
+        if self.reply_callback is not None:
+            self.reply_callback(frame)
+
+    # ------------------------------------------------------------------ #
+    # Cycle bookkeeping
+    # ------------------------------------------------------------------ #
+    def current_cycle(self) -> int:
+        """MHP cycle number containing the current simulation time.
+
+        A small epsilon guards against floating-point rounding placing an
+        exact cycle-boundary timestamp into the previous cycle.
+        """
+        return int(self.now / self.cycle_time + 1e-9)
+
+    def cycle_start(self, cycle: int) -> float:
+        """Simulation time at which ``cycle`` begins."""
+        return cycle * self.cycle_time
+
+    def next_cycle_at_or_after(self, time: float) -> int:
+        """First cycle starting at or after ``time``."""
+        return int(math.ceil(time / self.cycle_time - 1e-12))
+
+    # ------------------------------------------------------------------ #
+    # Attempt loop
+    # ------------------------------------------------------------------ #
+    def notify_work(self, not_before: Optional[float] = None) -> None:
+        """Tell the MHP that the EGP may have an attempt to make.
+
+        The MHP wakes up at the next cycle boundary (at or after
+        ``not_before`` when given) and polls the EGP.  Polling stops again as
+        soon as the EGP answers "no", so idle periods cost no events.
+        """
+        earliest = self.now if not_before is None else max(self.now, not_before)
+        earliest = max(earliest, self._attempt_window_end)
+        cycle = self.next_cycle_at_or_after(earliest)
+        poll_time = self.cycle_start(cycle)
+        if poll_time < self.now:
+            poll_time = self.cycle_start(cycle + 1)
+        if (self._next_poll_scheduled is not None
+                and self._next_poll_scheduled <= poll_time + 1e-15):
+            return
+        self._next_poll_scheduled = poll_time
+        self.call_at(poll_time, self._poll, name=f"{self.name}.poll")
+
+    def _poll(self) -> None:
+        self._next_poll_scheduled = None
+        if self.poll_callback is None or self._channel is None:
+            return
+        if self.now < self._attempt_window_end - 1e-15:
+            # A previously granted attempt window is still open (this poll was
+            # scheduled before the window was extended); do not start an
+            # overlapping attempt stream.
+            return
+        response = self.poll_callback()
+        if not response.attempt:
+            return
+        if response.queue_id is None:
+            raise ValueError("EGP answered yes without an absolute queue id")
+        self.attempts_triggered += 1
+        cycle = self.current_cycle()
+        batch = max(1, int(response.max_attempts))
+        frame = GenMessage(origin=self.node_name, queue_id=response.queue_id,
+                           cycle=cycle, alpha=response.alpha,
+                           timestamp=self.now, batch_size=batch)
+        self._channel.send(frame)
+        self._attempt_window_end = self.now + batch * self.cycle_time
+        # Keep polling: the next opportunity is after the granted batch of
+        # cycles; the EGP decides whether it actually wants to attempt again
+        # (e.g. it will answer "no" while waiting for a K-type REPLY).
+        self.notify_work(self._attempt_window_end)
+
+
+@dataclass
+class _PendingGen:
+    """A GEN frame waiting at the midpoint for its counterpart."""
+
+    frame: GenMessage
+    received_at: float
+    timed_out: bool = False
+
+
+class MidpointHeraldingService(Protocol):
+    """Heralding station service matching GEN frames and issuing REPLYs.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    scenario:
+        Hardware scenario; provides the heralded-state model and cycle time.
+    rng:
+        Random generator used to sample attempt outcomes.
+    match_window:
+        How long to wait for the second GEN of a cycle before declaring
+        ``NO_MESSAGE_OTHER`` (defaults to two MHP cycles plus the largest
+        node-midpoint delay).
+    """
+
+    def __init__(self, engine: SimulationEngine, scenario: ScenarioConfig,
+                 rng: Optional[np.random.Generator] = None,
+                 match_window: Optional[float] = None) -> None:
+        super().__init__(engine, name="Midpoint")
+        self.scenario = scenario
+        self.rng = rng if rng is not None else np.random.default_rng()
+        timing = scenario.timing
+        if match_window is None:
+            match_window = (2 * timing.mhp_cycle
+                            + max(timing.midpoint_delay_a,
+                                  timing.midpoint_delay_b))
+        self.match_window = match_window
+        self._channels: dict[str, ClassicalChannel] = {}
+        self._pending: dict[int, _PendingGen] = {}
+        self._sequence = 0
+        self.statistics = {
+            "attempts": 0,
+            "successes": 0,
+            "queue_mismatches": 0,
+            "unmatched": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def attach_channel(self, node_name: str, channel: ClassicalChannel) -> None:
+        """Register the channel used to send REPLYs to ``node_name``."""
+        self._channels[node_name] = channel
+
+    @property
+    def sequence(self) -> int:
+        """Current midpoint sequence number (number of successes so far)."""
+        return self._sequence
+
+    def receive(self, frame: object) -> None:
+        """Entry point for GEN frames arriving from either node."""
+        if not isinstance(frame, GenMessage):
+            raise TypeError(f"unexpected midpoint frame {type(frame).__name__}")
+        self._handle_gen(frame)
+
+    # ------------------------------------------------------------------ #
+    # GEN matching
+    # ------------------------------------------------------------------ #
+    def _handle_gen(self, frame: GenMessage) -> None:
+        pending = self._pending.get(frame.cycle)
+        if pending is None:
+            self._pending[frame.cycle] = _PendingGen(frame=frame,
+                                                     received_at=self.now)
+            self.call_after(self.match_window,
+                            lambda cycle=frame.cycle: self._expire_pending(cycle),
+                            name=f"{self.name}.match_timeout")
+            return
+        if pending.frame.origin == frame.origin:
+            # Duplicate from the same node (e.g. after retransmission): keep
+            # the newer frame and continue waiting for the peer.
+            pending.frame = frame
+            pending.received_at = self.now
+            return
+        del self._pending[frame.cycle]
+        self._process_pair(pending.frame, frame)
+
+    def _expire_pending(self, cycle: int) -> None:
+        pending = self._pending.pop(cycle, None)
+        if pending is None:
+            return
+        self.statistics["unmatched"] += 1
+        frame = pending.frame
+        reply = MHPReply(outcome=0, sequence=self._sequence,
+                         queue_id=frame.queue_id, peer_queue_id=None,
+                         error=MHPError.NO_MESSAGE_OTHER, cycle=cycle)
+        self._send_reply(frame.origin, reply)
+
+    def _process_pair(self, first: GenMessage, second: GenMessage) -> None:
+        frame_a = first if first.origin == "A" else second
+        frame_b = second if first.origin == "A" else first
+        self.statistics["attempts"] += 1
+        cycle = frame_a.cycle
+        if frame_a.queue_id != frame_b.queue_id:
+            self.statistics["queue_mismatches"] += 1
+            for frame, peer in ((frame_a, frame_b), (frame_b, frame_a)):
+                reply = MHPReply(outcome=0, sequence=self._sequence,
+                                 queue_id=frame.queue_id,
+                                 peer_queue_id=peer.queue_id,
+                                 error=MHPError.QUEUE_MISMATCH, cycle=cycle)
+                self._send_reply(frame.origin, reply)
+            return
+
+        sampler = HeraldedStateSampler.for_scenario(self.scenario,
+                                                    frame_a.alpha)
+        batch = max(1, min(frame_a.batch_size, frame_b.batch_size))
+        cycle_time = self.scenario.timing.mhp_cycle
+
+        if batch == 1:
+            outcome = sampler.sample(self.rng)
+            attempts_used = 1
+            success = outcome.is_success and outcome.state is not None
+        else:
+            success_attempt = sampler.sample_attempts_until_success(self.rng,
+                                                                    batch)
+            if success_attempt is None:
+                outcome = None
+                attempts_used = batch
+                success = False
+            else:
+                outcome = sampler.sample_success(self.rng)
+                attempts_used = success_attempt
+                success = outcome.state is not None
+        self.statistics["attempts"] += attempts_used - 1  # first one counted above
+
+        # The successful (or last) attempt happens attempts_used - 1 cycles
+        # after the first one; replies leave the station at that point.
+        reply_emit_delay = (attempts_used - 1) * cycle_time
+
+        pair: Optional[EntangledPair] = None
+        outcome_code = 0
+        if success and outcome is not None:
+            if outcome.outcome is HeraldingOutcome.PSI_PLUS:
+                outcome_code = 1
+            elif outcome.outcome is HeraldingOutcome.PSI_MINUS:
+                outcome_code = 2
+            self._sequence += 1
+            self.statistics["successes"] += 1
+            pair = EntangledPair(state=outcome.state.copy(),
+                                 heralded_bell=outcome.outcome.bell_index,
+                                 created_at=self.now + reply_emit_delay,
+                                 midpoint_sequence=self._sequence)
+        for frame, peer in ((frame_a, frame_b), (frame_b, frame_a)):
+            reply = MHPReply(outcome=outcome_code, sequence=self._sequence,
+                             queue_id=frame.queue_id,
+                             peer_queue_id=peer.queue_id,
+                             error=MHPError.NONE, cycle=cycle, pair=pair,
+                             attempts_used=attempts_used)
+            self._send_reply(frame.origin, reply, delay=reply_emit_delay)
+
+    def _send_reply(self, node_name: str, reply: MHPReply,
+                    delay: float = 0.0) -> None:
+        channel = self._channels.get(node_name)
+        if channel is None:
+            raise RuntimeError(f"no channel registered for node {node_name}")
+        if delay <= 0:
+            channel.send(reply)
+        else:
+            self.call_after(delay, lambda: channel.send(reply),
+                            name=f"{self.name}.batched_reply")

@@ -1,0 +1,131 @@
+"""Quantum Memory Manager (QMM) — paper Section 4.5 and 5.2.2.
+
+The QMM owns the mapping between logical qubit identifiers used by the EGP
+and the physical qubit slots of the node's NV device.  The EGP asks it for a
+communication qubit (to run an attempt) and, for create-and-keep requests,
+a storage qubit to move the electron state into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.messages import ErrorCode, RequestType
+from repro.hardware.nv_device import (
+    NVQuantumProcessor,
+    OutOfQubitsError,
+    QubitRole,
+    QubitSlot,
+)
+
+
+@dataclass
+class QubitAllocation:
+    """Qubits reserved for one entanglement attempt."""
+
+    communication: QubitSlot
+    storage: Optional[QubitSlot] = None
+
+    @property
+    def storage_qubit_id(self) -> Optional[int]:
+        """Physical id of the storage qubit, if one was reserved."""
+        return self.storage.qubit_id if self.storage is not None else None
+
+
+class QuantumMemoryManager:
+    """Allocates physical qubits of an NV device on behalf of the EGP.
+
+    Parameters
+    ----------
+    device:
+        The node's quantum processor.
+    """
+
+    def __init__(self, device: NVQuantumProcessor) -> None:
+        self.device = device
+        self.allocation_failures = 0
+
+    # ------------------------------------------------------------------ #
+    # Capacity queries
+    # ------------------------------------------------------------------ #
+    def free_communication_qubits(self) -> int:
+        """Number of currently free communication qubits."""
+        return len(self.device.free_slots(QubitRole.COMMUNICATION))
+
+    def free_storage_qubits(self) -> int:
+        """Number of currently free memory (storage) qubits."""
+        return len(self.device.free_slots(QubitRole.MEMORY))
+
+    def total_storage_qubits(self) -> int:
+        """Total number of memory qubits in the device."""
+        return sum(1 for slot in self.device.slots
+                   if slot.role is QubitRole.MEMORY)
+
+    def can_satisfy(self, request_type: RequestType,
+                    pairs_simultaneously: int = 1) -> Optional[ErrorCode]:
+        """Check whether the device can ever / currently serve a request.
+
+        Returns ``None`` when the request can proceed, ``MEMEXCEEDED`` when
+        the device is permanently too small (atomic request for more pairs
+        than memory qubits exist), or ``OUTOFMEM`` when memory is only
+        temporarily unavailable.
+        """
+        if request_type is RequestType.MEASURE:
+            return None
+        if pairs_simultaneously > self.total_storage_qubits():
+            return ErrorCode.MEMEXCEEDED
+        if self.free_storage_qubits() < 1:
+            return ErrorCode.OUTOFMEM
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def allocate(self, request_type: RequestType) -> Optional[QubitAllocation]:
+        """Reserve the qubits needed for one attempt of the given type.
+
+        Measure-directly attempts only need the communication qubit;
+        create-and-keep attempts additionally reserve a storage qubit.
+        Returns ``None`` (and counts a failure) when the reservation cannot
+        be satisfied right now.
+        """
+        try:
+            communication = self.device.reserve(QubitRole.COMMUNICATION)
+        except OutOfQubitsError:
+            self.allocation_failures += 1
+            return None
+        storage: Optional[QubitSlot] = None
+        if request_type is RequestType.KEEP:
+            try:
+                storage = self.device.reserve(QubitRole.MEMORY)
+            except OutOfQubitsError:
+                self.device.release(communication)
+                self.allocation_failures += 1
+                return None
+        return QubitAllocation(communication=communication, storage=storage)
+
+    def release(self, allocation: QubitAllocation,
+                keep_storage: bool = False) -> None:
+        """Release an allocation.
+
+        ``keep_storage=True`` keeps the storage qubit reserved (it now holds
+        a delivered pair owned by the higher layer) and frees only the
+        communication qubit.
+        """
+        self.device.release(allocation.communication)
+        if allocation.storage is not None and not keep_storage:
+            self.device.release(allocation.storage)
+
+    def release_storage(self, qubit_id: int) -> None:
+        """Free a storage qubit previously handed to the higher layer."""
+        slot = self.device.slot_by_id(qubit_id)
+        self.device.release(slot)
+
+    def logical_to_physical(self, logical_id: int) -> int:
+        """Translate a logical qubit id to a physical one.
+
+        The NV model uses the identity mapping; redundant encodings would
+        override this.
+        """
+        return logical_id

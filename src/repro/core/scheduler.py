@@ -1,0 +1,147 @@
+"""EGP scheduling strategies (paper Sections 5.2.4 and 6.3, Appendix C.2).
+
+The scheduler decides which ready queue item is served next.  Any strategy is
+admissible as long as it is *deterministic* given the (synchronised) queue
+state, so that both nodes independently pick the same request.
+
+Implemented strategies:
+
+``FCFSScheduler``
+    First-come-first-serve over all priority lanes, ordered by absolute
+    arrival (queue id is only a tie-breaker).
+
+``WeightedFairScheduler``
+    The paper's WFQ strategy: requests of the highest priority class
+    (NL, priority 1) are always served first (strict priority); the remaining
+    classes share capacity through weighted fair queueing using virtual
+    finish times.  ``HigherWFQ`` (CK weight 10, MD weight 1) and ``LowerWFQ``
+    (CK weight 2, MD weight 1) from Appendix C.2 are provided as factories.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.core.distributed_queue import QueueItem
+from repro.core.messages import Priority
+
+
+class SchedulingStrategy(ABC):
+    """Picks the next queue item to serve among the ready ones."""
+
+    #: Human-readable name used in benchmark output.
+    name: str = "base"
+
+    @abstractmethod
+    def select(self, ready_items: Sequence[QueueItem],
+               cycle: int) -> Optional[QueueItem]:
+        """Return the item to serve in this MHP cycle, or ``None``."""
+
+    def on_enqueue(self, item: QueueItem, cycle: int) -> None:
+        """Hook invoked when an item enters the queue (used by WFQ)."""
+
+    def on_pair_delivered(self, item: QueueItem, cycle: int) -> None:
+        """Hook invoked when a pair for ``item`` is delivered."""
+
+
+class FCFSScheduler(SchedulingStrategy):
+    """First-come-first-serve across all priority lanes."""
+
+    name = "FCFS"
+
+    def select(self, ready_items: Sequence[QueueItem],
+               cycle: int) -> Optional[QueueItem]:
+        if not ready_items:
+            return None
+        return min(ready_items,
+                   key=lambda item: (item.added_at, item.queue_id))
+
+
+class WeightedFairScheduler(SchedulingStrategy):
+    """Strict priority for NL plus weighted fair queueing for the rest.
+
+    Parameters
+    ----------
+    weights:
+        Mapping of priority to WFQ weight for the non-strict classes.  The
+        paper's *HigherWFQ* uses ``{CK: 10, MD: 1}`` and *LowerWFQ*
+        ``{CK: 2, MD: 1}``.
+    strict_priorities:
+        Priorities served ahead of everything else, in order.
+    """
+
+    def __init__(self, weights: Optional[dict[Priority, float]] = None,
+                 strict_priorities: Sequence[Priority] = (Priority.NL,),
+                 name: str = "WFQ") -> None:
+        self.weights = weights or {Priority.CK: 10.0, Priority.MD: 1.0}
+        for priority, weight in self.weights.items():
+            if weight <= 0:
+                raise ValueError(f"weight for {priority} must be positive")
+        self.strict_priorities = tuple(strict_priorities)
+        self.name = name
+        #: WFQ virtual time, advanced as pairs complete.
+        self._virtual_time = 0.0
+
+    @classmethod
+    def higher_wfq(cls) -> "WeightedFairScheduler":
+        """The paper's HigherWFQ: CK weight 10, MD weight 1."""
+        return cls(weights={Priority.CK: 10.0, Priority.MD: 1.0},
+                   name="HigherWFQ")
+
+    @classmethod
+    def lower_wfq(cls) -> "WeightedFairScheduler":
+        """The paper's LowerWFQ: CK weight 2, MD weight 1."""
+        return cls(weights={Priority.CK: 2.0, Priority.MD: 1.0},
+                   name="LowerWFQ")
+
+    # ------------------------------------------------------------------ #
+    # Strategy interface
+    # ------------------------------------------------------------------ #
+    def on_enqueue(self, item: QueueItem, cycle: int) -> None:
+        if item.priority in self.strict_priorities:
+            return
+        weight = self.weights.get(item.priority, 1.0)
+        # Virtual finish time: start at max(virtual time, 0) and add the
+        # request's normalised service demand.
+        service = item.request.number / weight
+        item.virtual_finish = max(self._virtual_time, item.virtual_finish) + service
+
+    def on_pair_delivered(self, item: QueueItem, cycle: int) -> None:
+        if item.priority in self.strict_priorities:
+            return
+        weight = self.weights.get(item.priority, 1.0)
+        self._virtual_time += 1.0 / weight
+
+    def select(self, ready_items: Sequence[QueueItem],
+               cycle: int) -> Optional[QueueItem]:
+        if not ready_items:
+            return None
+        for priority in self.strict_priorities:
+            strict = [item for item in ready_items if item.priority == priority]
+            if strict:
+                return min(strict,
+                           key=lambda item: (item.added_at, item.queue_id))
+        weighted = [item for item in ready_items
+                    if item.priority not in self.strict_priorities]
+        if not weighted:
+            return None
+        return min(weighted,
+                   key=lambda item: (item.virtual_finish, item.added_at,
+                                     item.queue_id))
+
+
+def make_scheduler(name: str) -> SchedulingStrategy:
+    """Factory used by the scenario catalogue and benchmarks.
+
+    Accepted names: ``"FCFS"``, ``"HigherWFQ"``, ``"LowerWFQ"`` and ``"WFQ"``
+    (alias for HigherWFQ, the variant used in the paper's Table 1).
+    """
+    normalized = name.strip().lower()
+    if normalized == "fcfs":
+        return FCFSScheduler()
+    if normalized in ("higherwfq", "wfq"):
+        return WeightedFairScheduler.higher_wfq()
+    if normalized == "lowerwfq":
+        return WeightedFairScheduler.lower_wfq()
+    raise ValueError(f"unknown scheduler {name!r}")

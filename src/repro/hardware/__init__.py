@@ -1,0 +1,64 @@
+"""NV-centre hardware models and scenario parameter sets.
+
+This package models the physical layer substrate of the paper: the NV-centre
+quantum processing device (electron communication qubit + carbon memory
+qubit), single-click photon emission, the heralding midpoint station with its
+imperfect beam-splitter measurement, optical fibre, and the classical
+1000BASE-ZX control link.
+
+The two evaluation scenarios of the paper are available as factory functions:
+
+>>> from repro.hardware import lab_scenario, ql2020_scenario
+>>> lab = lab_scenario()
+>>> ql = ql2020_scenario()
+"""
+
+from repro.hardware.parameters import (
+    CoherenceTimes,
+    NVGateParameters,
+    OpticalParameters,
+    TimingParameters,
+    ClassicalLinkParameters,
+    ScenarioConfig,
+    lab_scenario,
+    ql2020_scenario,
+)
+from repro.hardware.emission import spin_photon_state, photon_survival_probability
+from repro.hardware.heralding import (
+    HeraldingOutcome,
+    beam_splitter_kraus,
+    MidpointStationModel,
+    HeraldedStateSampler,
+    AttemptOutcome,
+)
+from repro.hardware.nv_device import NVQuantumProcessor, QubitSlot, QubitRole
+from repro.hardware.pair import EntangledPair
+from repro.hardware.classical_link import frame_error_probability, link_budget_db
+from repro.hardware.fiber import fiber_attenuation_db, fiber_transmissivity, propagation_delay
+
+__all__ = [
+    "CoherenceTimes",
+    "NVGateParameters",
+    "OpticalParameters",
+    "TimingParameters",
+    "ClassicalLinkParameters",
+    "ScenarioConfig",
+    "lab_scenario",
+    "ql2020_scenario",
+    "spin_photon_state",
+    "photon_survival_probability",
+    "HeraldingOutcome",
+    "beam_splitter_kraus",
+    "MidpointStationModel",
+    "HeraldedStateSampler",
+    "AttemptOutcome",
+    "NVQuantumProcessor",
+    "QubitSlot",
+    "QubitRole",
+    "EntangledPair",
+    "frame_error_probability",
+    "link_budget_db",
+    "fiber_attenuation_db",
+    "fiber_transmissivity",
+    "propagation_delay",
+]

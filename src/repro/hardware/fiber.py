@@ -1,0 +1,27 @@
+"""Optical fibre helpers: attenuation, transmissivity and propagation delay."""
+
+from __future__ import annotations
+
+from repro.sim.channel import FIBRE_LIGHT_SPEED_KM_S
+
+
+def fiber_attenuation_db(length_km: float, loss_db_per_km: float) -> float:
+    """Total attenuation in dB over ``length_km`` of fibre."""
+    if length_km < 0:
+        raise ValueError(f"negative fibre length {length_km}")
+    if loss_db_per_km < 0:
+        raise ValueError(f"negative fibre loss {loss_db_per_km}")
+    return length_km * loss_db_per_km
+
+
+def fiber_transmissivity(length_km: float, loss_db_per_km: float) -> float:
+    """Probability a photon survives the fibre (10^(-L*gamma/10), Eq. 33)."""
+    attenuation = fiber_attenuation_db(length_km, loss_db_per_km)
+    return 10.0 ** (-attenuation / 10.0)
+
+
+def propagation_delay(length_km: float) -> float:
+    """One-way propagation delay in seconds over ``length_km`` of fibre."""
+    if length_km < 0:
+        raise ValueError(f"negative fibre length {length_km}")
+    return length_km / FIBRE_LIGHT_SPEED_KM_S

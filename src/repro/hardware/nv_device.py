@@ -1,0 +1,241 @@
+"""NV-centre quantum processing device model.
+
+Each controllable node hosts one :class:`NVQuantumProcessor` with a single
+electron-spin *communication* qubit (optical interface) and one or more
+carbon-13 *memory* qubits.  The device model applies the noise processes of
+the paper's Appendix D to the halves of entangled pairs stored in its qubits:
+
+* T1/T2 decay while a qubit idles,
+* depolarising gate noise when moving a state to memory (E-C controlled
+  sqrt(X) gates),
+* per-attempt dephasing of the carbon memory while further entanglement
+  attempts run (Eq. 25),
+* asymmetric, noisy electron readout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.pair import EntangledPair
+from repro.hardware.parameters import CoherenceTimes, NVGateParameters
+from repro.quantum import gates, noise
+from repro.quantum.measurement import readout_kraus
+
+
+class QubitRole(Enum):
+    """Physical role of a qubit in the NV device."""
+
+    COMMUNICATION = "communication"
+    MEMORY = "memory"
+
+
+@dataclass
+class QubitSlot:
+    """A physical qubit position in the device."""
+
+    qubit_id: int
+    role: QubitRole
+    in_use: bool = False
+    pair: Optional[EntangledPair] = None
+    #: Simulation time at which the current state was last touched; used to
+    #: apply idle decay lazily.
+    last_update: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+
+class OutOfQubitsError(RuntimeError):
+    """Raised when a qubit of the requested role is not available."""
+
+
+class NVQuantumProcessor:
+    """Model of one node's NV-centre quantum processor.
+
+    Parameters
+    ----------
+    name:
+        Node name ("A" or "B"); selects which half of stored pairs this
+        device acts on.
+    gate_parameters:
+        Noise and timing constants (paper Table 6).
+    num_communication:
+        Number of electron communication qubits (1 for NV).
+    num_memory:
+        Number of carbon memory qubits.
+    rng:
+        Random generator used for measurements.
+    """
+
+    def __init__(self, name: str, gate_parameters: NVGateParameters,
+                 num_communication: int = 1, num_memory: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if name.upper() not in ("A", "B"):
+            raise ValueError(f"node name must be 'A' or 'B', got {name!r}")
+        self.name = name.upper()
+        self.gates = gate_parameters
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.slots: list[QubitSlot] = []
+        qubit_id = 0
+        for _ in range(num_communication):
+            self.slots.append(QubitSlot(qubit_id, QubitRole.COMMUNICATION))
+            qubit_id += 1
+        for _ in range(num_memory):
+            self.slots.append(QubitSlot(qubit_id, QubitRole.MEMORY))
+            qubit_id += 1
+
+    # ------------------------------------------------------------------ #
+    # Qubit slot management (used by the QMM)
+    # ------------------------------------------------------------------ #
+    def free_slots(self, role: Optional[QubitRole] = None) -> list[QubitSlot]:
+        """All currently unused slots, optionally filtered by role."""
+        return [slot for slot in self.slots
+                if not slot.in_use and (role is None or slot.role == role)]
+
+    def reserve(self, role: QubitRole) -> QubitSlot:
+        """Reserve a free qubit of the given role.
+
+        Raises :class:`OutOfQubitsError` if none is available.
+        """
+        available = self.free_slots(role)
+        if not available:
+            raise OutOfQubitsError(
+                f"node {self.name} has no free {role.value} qubit")
+        slot = available[0]
+        slot.in_use = True
+        return slot
+
+    def release(self, slot: QubitSlot) -> None:
+        """Release a previously reserved slot."""
+        slot.in_use = False
+        slot.pair = None
+        slot.metadata.clear()
+
+    def release_all(self) -> None:
+        """Release every slot (used on protocol reset)."""
+        for slot in self.slots:
+            self.release(slot)
+
+    def slot_by_id(self, qubit_id: int) -> QubitSlot:
+        """Look up a slot by physical qubit id."""
+        for slot in self.slots:
+            if slot.qubit_id == qubit_id:
+                return slot
+        raise KeyError(f"node {self.name} has no qubit {qubit_id}")
+
+    # ------------------------------------------------------------------ #
+    # Noise application
+    # ------------------------------------------------------------------ #
+    def _coherence_for(self, slot: QubitSlot) -> CoherenceTimes:
+        if slot.role is QubitRole.COMMUNICATION:
+            return self.gates.electron_coherence
+        return self.gates.carbon_coherence
+
+    def apply_idle_decay(self, pair: EntangledPair, slot: QubitSlot,
+                         duration: float) -> None:
+        """Apply T1/T2 decay to this node's half of ``pair`` for ``duration``."""
+        if duration <= 0:
+            return
+        coherence = self._coherence_for(slot)
+        kraus = noise.t1_t2_kraus(duration, coherence.t1, coherence.t2)
+        pair.apply_one_sided_kraus(kraus, self.name)
+
+    def apply_initialization_noise(self, pair: EntangledPair) -> None:
+        """Depolarising noise from imperfect electron initialisation."""
+        kraus = noise.depolarizing_kraus(self.gates.electron_init_fidelity)
+        pair.apply_one_sided_kraus(kraus, self.name)
+
+    def move_to_memory(self, pair: EntangledPair,
+                       communication_slot: QubitSlot,
+                       memory_slot: QubitSlot) -> float:
+        """Swap this node's half of ``pair`` from the electron to a carbon.
+
+        Applies the gate noise of the two E-C controlled-sqrt(X) gates used by
+        the swap, plus electron decay over the swap duration, and rebinds the
+        pair to the memory slot.  Returns the duration of the operation.
+        """
+        duration = self.gates.swap_to_memory_duration
+        # Two E-C gates: approximate their combined error as two depolarising
+        # applications on the transferred qubit.  The pulse sequence that
+        # implements the swap dynamically decouples the electron (Section
+        # D.2.2), so no additional free-evolution T2 decay is applied for the
+        # swap duration; the gate fidelity already captures the residual error.
+        gate_kraus = noise.depolarizing_kraus(self.gates.ec_gate_fidelity)
+        pair.apply_one_sided_kraus(gate_kraus, self.name)
+        pair.apply_one_sided_kraus(gate_kraus, self.name)
+        communication_slot.pair = None
+        communication_slot.in_use = False
+        memory_slot.pair = pair
+        memory_slot.in_use = True
+        pair.qubit_ids[self.name] = memory_slot.qubit_id
+        return duration
+
+    def apply_attempt_dephasing(self, pair: EntangledPair, slot: QubitSlot,
+                                attempts: int, alpha: float) -> None:
+        """Carbon dephasing from ``attempts`` further entanglement attempts.
+
+        While new entanglement attempts run, the repeated electron resets
+        dephase any state stored in the carbon memory (Eq. 25/26).
+        """
+        if attempts <= 0 or slot.role is not QubitRole.MEMORY:
+            return
+        per_attempt = noise.nuclear_dephasing_per_attempt(
+            alpha, self.gates.carbon_coupling_rad_s,
+            self.gates.carbon_reset_decay_s)
+        # N attempts shrink coherence by (1 - p)^N; express as one dephasing.
+        coherence_factor = (1.0 - 2.0 * per_attempt) ** attempts
+        effective = (1.0 - coherence_factor) / 2.0
+        pair.apply_one_sided_kraus(noise.dephasing_kraus(effective), self.name)
+
+    def apply_correction(self, pair: EntangledPair) -> None:
+        """Apply the local Z gate converting |Psi-> into |Psi+> (Eq. 13)."""
+        pair.apply_one_sided_unitary(gates.Z, self.name)
+        if self.gates.electron_gate_fidelity < 1.0:
+            pair.apply_one_sided_kraus(
+                noise.depolarizing_kraus(self.gates.electron_gate_fidelity),
+                self.name)
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+    def measure_pair(self, pair: EntangledPair, basis: str = "Z") -> int:
+        """Measure this node's half of ``pair`` with noisy electron readout.
+
+        The requested basis is rotated onto Z before the asymmetric readout
+        POVM of Eq. (23) is applied.
+        """
+        basis = basis.upper()
+        if basis == "X":
+            pair.apply_one_sided_unitary(gates.H, self.name)
+        elif basis == "Y":
+            # Rotate Y eigenstates onto Z: apply H S^dagger.
+            pair.apply_one_sided_unitary(gates.H @ gates.S.conj().T, self.name)
+        elif basis != "Z":
+            raise ValueError(f"unknown basis {basis!r}")
+        m0, m1 = readout_kraus(self.gates.readout_fidelity_0,
+                               self.gates.readout_fidelity_1)
+        qubit = 0 if self.name == "A" else 1
+        return pair.state.measure_povm([m0, m1], qubits=[qubit], rng=self.rng)
+
+    # ------------------------------------------------------------------ #
+    # Timing helpers
+    # ------------------------------------------------------------------ #
+    def readout_duration(self) -> float:
+        """Duration of one electron readout."""
+        return self.gates.readout_duration
+
+    def memory_reinit_overhead(self) -> float:
+        """Fraction of time lost to periodic carbon re-initialisation."""
+        period = self.gates.carbon_reinit_period
+        if period <= 0:
+            return 0.0
+        return self.gates.carbon_reinit_duration / period
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        used = sum(1 for slot in self.slots if slot.in_use)
+        return (f"<NVQuantumProcessor {self.name} qubits={len(self.slots)} "
+                f"in_use={used}>")

@@ -1,0 +1,81 @@
+"""Entangled pair bookkeeping.
+
+An :class:`EntangledPair` is the quantum payload the link layer delivers: the
+two-qubit state shared between node A (qubit 0) and node B (qubit 1), plus the
+metadata the EGP attaches to it (entanglement identifier, creation time,
+heralded Bell state).
+
+The pair owns its density matrix; hardware models apply local noise to one
+side through :meth:`apply_one_sided_kraus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.quantum.density import DensityMatrix
+from repro.quantum.states import BellIndex, bell_state
+
+
+@dataclass
+class EntangledPair:
+    """A heralded entangled pair shared between the two nodes.
+
+    Attributes
+    ----------
+    state:
+        Two-qubit density matrix; qubit 0 is node A's half, qubit 1 node B's.
+    heralded_bell:
+        Bell state announced by the midpoint (|Psi+> or |Psi->).
+    created_at:
+        Simulation time of the heralding signal.
+    midpoint_sequence:
+        Sequence number assigned by the heralding station.
+    """
+
+    state: DensityMatrix
+    heralded_bell: BellIndex
+    created_at: float
+    midpoint_sequence: int = 0
+    corrected: bool = False
+    #: Identifier of the physical qubit holding each side (A, B), set by the QMM.
+    qubit_ids: dict[str, int] = field(default_factory=dict)
+
+    def apply_one_sided_kraus(self, kraus_operators: Sequence[np.ndarray],
+                              side: str) -> None:
+        """Apply a single-qubit channel to one node's half of the pair.
+
+        ``side`` is ``"A"`` or ``"B"``.
+        """
+        self.state.apply_kraus(kraus_operators, qubits=[self._side_index(side)])
+
+    def apply_one_sided_unitary(self, unitary: np.ndarray, side: str) -> None:
+        """Apply a single-qubit unitary to one node's half of the pair."""
+        self.state.apply_unitary(unitary, qubits=[self._side_index(side)])
+
+    def measure_side(self, side: str, basis: str,
+                     rng: Optional[np.random.Generator] = None) -> int:
+        """Projectively measure one side in the X/Y/Z basis (noiseless readout)."""
+        return self.state.measure(self._side_index(side), basis=basis, rng=rng)
+
+    def fidelity(self, target: Optional[BellIndex] = None) -> float:
+        """Fidelity to ``target`` (default: the corrected/heralded Bell state).
+
+        After the |Psi-> -> |Psi+> correction has been applied the natural
+        target is |Psi+> regardless of the heralding signal.
+        """
+        if target is None:
+            target = BellIndex.PSI_PLUS if self.corrected else self.heralded_bell
+        return self.state.fidelity_to_pure(bell_state(target))
+
+    @staticmethod
+    def _side_index(side: str) -> int:
+        side = side.upper()
+        if side == "A":
+            return 0
+        if side == "B":
+            return 1
+        raise ValueError(f"side must be 'A' or 'B', got {side!r}")

@@ -1,0 +1,6 @@
+"""Network assembly: wiring nodes, the midpoint and channels together."""
+
+from repro.network.node import LinkLayerNode
+from repro.network.network import LinkLayerNetwork
+
+__all__ = ["LinkLayerNode", "LinkLayerNetwork"]

@@ -1,0 +1,35 @@
+"""A controllable quantum network node.
+
+Groups the per-node components: the NV quantum processor, the node-side MHP,
+the distributed-queue endpoint and the EGP.  Construction and wiring is done
+by :class:`repro.network.network.LinkLayerNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.distributed_queue import DistributedQueue
+from repro.core.egp import EGP
+from repro.core.feu import FidelityEstimationUnit
+from repro.core.mhp import NodeMHP
+from repro.hardware.nv_device import NVQuantumProcessor
+
+
+@dataclass
+class LinkLayerNode:
+    """One controllable node with its full protocol stack."""
+
+    name: str
+    device: NVQuantumProcessor
+    mhp: NodeMHP
+    dqp: DistributedQueue
+    feu: FidelityEstimationUnit
+    egp: EGP
+
+    def create(self, request) -> int:
+        """Submit a CREATE request to this node's link layer."""
+        return self.egp.create(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"<LinkLayerNode {self.name}>"

@@ -1,0 +1,63 @@
+"""Quantum-information substrate.
+
+Density-matrix based simulation of the few qubits involved in link-layer
+entanglement generation (two communication qubits, two memory qubits, and the
+photonic presence/absence qubits travelling to the heralding station).
+
+The substrate intentionally works with explicit numpy density matrices: the
+link layer never needs more than a handful of qubits at once, so an exact
+representation is both simple and fast enough, and it lets us implement the
+paper's noise models (Appendix D) literally.
+"""
+
+from repro.quantum.states import (
+    ket0,
+    ket1,
+    ket_plus,
+    ket_minus,
+    ket_y_plus,
+    ket_y_minus,
+    bell_state,
+    BellIndex,
+)
+from repro.quantum.density import DensityMatrix
+from repro.quantum import gates
+from repro.quantum import noise
+from repro.quantum.fidelity import (
+    fidelity,
+    fidelity_to_pure,
+    qber_from_state,
+    qber_all_bases,
+    fidelity_from_qber,
+    qber_from_fidelity_werner,
+    werner_state,
+)
+from repro.quantum.measurement import (
+    basis_operators,
+    measure_qubit,
+    povm_outcome_probabilities,
+)
+
+__all__ = [
+    "ket0",
+    "ket1",
+    "ket_plus",
+    "ket_minus",
+    "ket_y_plus",
+    "ket_y_minus",
+    "bell_state",
+    "BellIndex",
+    "DensityMatrix",
+    "gates",
+    "noise",
+    "fidelity",
+    "fidelity_to_pure",
+    "qber_from_state",
+    "qber_all_bases",
+    "fidelity_from_qber",
+    "qber_from_fidelity_werner",
+    "werner_state",
+    "basis_operators",
+    "measure_qubit",
+    "povm_outcome_probabilities",
+]

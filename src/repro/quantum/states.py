@@ -1,0 +1,94 @@
+"""Standard single-qubit states and the Bell basis.
+
+States are plain numpy column vectors (shape ``(d, 1)`` as 1-D arrays of
+length ``d``) with complex dtype.  The Bell basis ordering follows the paper:
+``PHI_PLUS``, ``PHI_MINUS``, ``PSI_PLUS``, ``PSI_MINUS``.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def ket0() -> np.ndarray:
+    """|0> basis state."""
+    return np.array([1.0, 0.0], dtype=complex)
+
+
+def ket1() -> np.ndarray:
+    """|1> basis state."""
+    return np.array([0.0, 1.0], dtype=complex)
+
+
+def ket_plus() -> np.ndarray:
+    """|+> = (|0> + |1>)/sqrt(2), the X-basis '0' outcome state."""
+    return np.array([1.0, 1.0], dtype=complex) / _SQRT2
+
+
+def ket_minus() -> np.ndarray:
+    """|-> = (|0> - |1>)/sqrt(2), the X-basis '1' outcome state."""
+    return np.array([1.0, -1.0], dtype=complex) / _SQRT2
+
+
+def ket_y_plus() -> np.ndarray:
+    """|+i> = (|0> + i|1>)/sqrt(2), the Y-basis '0' outcome state."""
+    return np.array([1.0, 1.0j], dtype=complex) / _SQRT2
+
+
+def ket_y_minus() -> np.ndarray:
+    """|-i> = (|0> - i|1>)/sqrt(2), the Y-basis '1' outcome state."""
+    return np.array([1.0, -1.0j], dtype=complex) / _SQRT2
+
+
+class BellIndex(IntEnum):
+    """Identifiers for the four Bell states.
+
+    The heralding station reports ``PSI_PLUS`` (left detector clicks) or
+    ``PSI_MINUS`` (right detector clicks) on success; the remaining two
+    complete the basis and are used by gates/corrections.
+    """
+
+    PHI_PLUS = 0
+    PHI_MINUS = 1
+    PSI_PLUS = 2
+    PSI_MINUS = 3
+
+
+def bell_state(index: BellIndex | int) -> np.ndarray:
+    """Return the requested Bell state as a length-4 complex vector.
+
+    Qubit ordering is (A, B) with A the most-significant qubit, matching the
+    tensor product conventions of :class:`repro.quantum.density.DensityMatrix`.
+    """
+    index = BellIndex(index)
+    if index is BellIndex.PHI_PLUS:
+        vec = [1.0, 0.0, 0.0, 1.0]
+    elif index is BellIndex.PHI_MINUS:
+        vec = [1.0, 0.0, 0.0, -1.0]
+    elif index is BellIndex.PSI_PLUS:
+        vec = [0.0, 1.0, 1.0, 0.0]
+    else:  # PSI_MINUS
+        vec = [0.0, 1.0, -1.0, 0.0]
+    return np.array(vec, dtype=complex) / _SQRT2
+
+
+def ket_to_dm(ket: np.ndarray) -> np.ndarray:
+    """Outer product |psi><psi| of a state vector."""
+    ket = np.asarray(ket, dtype=complex).reshape(-1)
+    return np.outer(ket, ket.conj())
+
+
+def basis_states(basis: str) -> tuple[np.ndarray, np.ndarray]:
+    """Return the (outcome-0, outcome-1) eigenstates of the X, Y or Z basis."""
+    basis = basis.upper()
+    if basis == "Z":
+        return ket0(), ket1()
+    if basis == "X":
+        return ket_plus(), ket_minus()
+    if basis == "Y":
+        return ket_y_plus(), ket_y_minus()
+    raise ValueError(f"unknown basis {basis!r}; expected 'X', 'Y' or 'Z'")

@@ -1,0 +1,24 @@
+"""Workload generation, scenario catalogue and the simulation runner."""
+
+from repro.runtime.workload import WorkloadSpec, RequestGenerator, UsagePattern
+from repro.runtime.runner import SimulationRun, RunResult
+from repro.runtime.scenarios import (
+    LONG_RUN_LOADS,
+    USAGE_PATTERNS,
+    single_kind_scenarios,
+    mixed_kind_scenarios,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "RequestGenerator",
+    "UsagePattern",
+    "SimulationRun",
+    "RunResult",
+    "LONG_RUN_LOADS",
+    "USAGE_PATTERNS",
+    "single_kind_scenarios",
+    "mixed_kind_scenarios",
+    "ScenarioSpec",
+]

@@ -1,0 +1,88 @@
+"""High-level simulation runner combining network, workload and metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import MetricsCollector, MetricsSummary
+from repro.core.scheduler import SchedulingStrategy
+from repro.hardware.parameters import ScenarioConfig
+from repro.network.network import LinkLayerNetwork
+from repro.runtime.workload import RequestGenerator, WorkloadSpec
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    scenario_name: str
+    scheduler_name: str
+    simulated_time: float
+    summary: MetricsSummary
+    metrics: MetricsCollector
+    network: LinkLayerNetwork
+    requests_issued: int
+
+
+class SimulationRun:
+    """One complete link-layer simulation.
+
+    Parameters
+    ----------
+    scenario:
+        Hardware scenario (Lab or QL2020).
+    workload:
+        The workload specs describing the CREATE arrival process.
+    scheduler:
+        Scheduling strategy name ("FCFS", "HigherWFQ", "LowerWFQ") or instance.
+    seed:
+        Master seed; the workload uses ``seed + 1``.
+    emission_multiplexing:
+        Forwarded to the EGP.
+    """
+
+    def __init__(self, scenario: ScenarioConfig,
+                 workload: Sequence[WorkloadSpec],
+                 scheduler: str | SchedulingStrategy = "FCFS",
+                 seed: Optional[int] = 12345,
+                 emission_multiplexing: bool = True,
+                 attempt_batch_size: int = 1) -> None:
+        self.scenario = scenario
+        self.network = LinkLayerNetwork(scenario, scheduler=scheduler,
+                                        seed=seed,
+                                        emission_multiplexing=emission_multiplexing,
+                                        attempt_batch_size=attempt_batch_size)
+        self.metrics = MetricsCollector(self.network)
+        workload_seed = None if seed is None else seed + 1
+        self.generator = RequestGenerator(self.network, list(workload),
+                                          metrics=self.metrics,
+                                          seed=workload_seed)
+        self._scheduler_name = (scheduler if isinstance(scheduler, str)
+                                else scheduler.name)
+
+    def run(self, duration: float) -> RunResult:
+        """Run the simulation for ``duration`` simulated seconds."""
+        self.generator.start()
+        self.network.run(duration)
+        return RunResult(
+            scenario_name=self.scenario.name,
+            scheduler_name=self._scheduler_name,
+            simulated_time=duration,
+            summary=self.metrics.summary(),
+            metrics=self.metrics,
+            network=self.network,
+            requests_issued=self.generator.requests_issued,
+        )
+
+
+def run_scenario(scenario: ScenarioConfig, workload: Sequence[WorkloadSpec],
+                 duration: float, scheduler: str | SchedulingStrategy = "FCFS",
+                 seed: Optional[int] = 12345,
+                 emission_multiplexing: bool = True,
+                 attempt_batch_size: int = 1) -> RunResult:
+    """Convenience one-shot runner used by benchmarks and examples."""
+    run = SimulationRun(scenario, workload, scheduler=scheduler, seed=seed,
+                        emission_multiplexing=emission_multiplexing,
+                        attempt_batch_size=attempt_batch_size)
+    return run.run(duration)

@@ -1,0 +1,169 @@
+"""Catalogue of the paper's evaluation scenarios.
+
+Two families are provided:
+
+* *single-kind* scenarios (Section 6.2): only one request kind (NL, CK or MD)
+  with load *Low* (f=0.7), *High* (f=0.99) or *Ultra* (f=1.5), different
+  ``k_max`` values and different request origins — the grid behind the 169
+  long-run scenarios;
+
+* *mixed-kind* scenarios (Section 6.3 and Appendix C.2): the usage patterns
+  Uniform / MoreNL / MoreCK / MoreMD / NoNLMoreCK / NoNLMoreMD combined with
+  the FCFS, LowerWFQ and HigherWFQ schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.messages import Priority
+from repro.hardware.parameters import ScenarioConfig, lab_scenario, ql2020_scenario
+from repro.runtime.runner import RunResult, SimulationRun
+from repro.runtime.workload import UsagePattern, WorkloadSpec
+
+#: Load levels of the long runs (Section 6): name -> f_P.
+LONG_RUN_LOADS: dict[str, float] = {"Low": 0.7, "High": 0.99, "Ultra": 1.5}
+
+#: Default fixed target fidelity of the long runs.
+DEFAULT_MIN_FIDELITY = 0.64
+
+
+def _pattern(name: str, nl: float, ck: float, md: float,
+             nl_pairs: int = 3, ck_pairs: int = 3, md_pairs: int = 256,
+             min_fidelity: float = DEFAULT_MIN_FIDELITY) -> UsagePattern:
+    specs = []
+    if nl > 0:
+        specs.append(WorkloadSpec(priority=Priority.NL, load_fraction=nl,
+                                  max_pairs=nl_pairs,
+                                  min_fidelity=min_fidelity))
+    if ck > 0:
+        specs.append(WorkloadSpec(priority=Priority.CK, load_fraction=ck,
+                                  max_pairs=ck_pairs,
+                                  min_fidelity=min_fidelity))
+    if md > 0:
+        specs.append(WorkloadSpec(priority=Priority.MD, load_fraction=md,
+                                  max_pairs=md_pairs,
+                                  min_fidelity=min_fidelity))
+    return UsagePattern(name=name, specs=tuple(specs))
+
+
+#: The usage patterns of Appendix C.2, Table 2.
+USAGE_PATTERNS: dict[str, UsagePattern] = {
+    "Uniform": _pattern("Uniform", 0.99 / 3, 0.99 / 3, 0.99 / 3,
+                        nl_pairs=1, ck_pairs=1, md_pairs=1),
+    "MoreNL": _pattern("MoreNL", 0.99 * 4 / 6, 0.99 / 6, 0.99 / 6),
+    "MoreCK": _pattern("MoreCK", 0.99 / 6, 0.99 * 4 / 6, 0.99 / 6),
+    "MoreMD": _pattern("MoreMD", 0.99 / 6, 0.99 / 6, 0.99 * 4 / 6),
+    "NoNLMoreCK": _pattern("NoNLMoreCK", 0.0, 0.99 * 4 / 5, 0.99 / 5),
+    "NoNLMoreMD": _pattern("NoNLMoreMD", 0.0, 0.99 / 5, 0.99 * 4 / 5),
+}
+
+
+@dataclass
+class ScenarioSpec:
+    """A fully specified simulation scenario ready to run."""
+
+    name: str
+    scenario: ScenarioConfig
+    workload: tuple[WorkloadSpec, ...]
+    scheduler: str = "FCFS"
+    seed: int = 12345
+    attempt_batch_size: int = 1
+
+    def run(self, duration: float, seed: Optional[int] = None,
+            attempt_batch_size: Optional[int] = None) -> RunResult:
+        """Build and run the scenario for ``duration`` simulated seconds."""
+        batch = (self.attempt_batch_size if attempt_batch_size is None
+                 else attempt_batch_size)
+        simulation = SimulationRun(self.scenario, self.workload,
+                                   scheduler=self.scheduler,
+                                   seed=self.seed if seed is None else seed,
+                                   attempt_batch_size=batch)
+        return simulation.run(duration)
+
+
+def _hardware(name: str) -> ScenarioConfig:
+    if name.lower() == "lab":
+        return lab_scenario()
+    if name.lower() == "ql2020":
+        return ql2020_scenario()
+    raise ValueError(f"unknown hardware scenario {name!r}")
+
+
+def single_kind_scenarios(hardware: str = "Lab",
+                          kinds: tuple[str, ...] = ("NL", "CK", "MD"),
+                          loads: tuple[str, ...] = ("Low", "High", "Ultra"),
+                          max_pairs_options: tuple[int, ...] = (1, 3),
+                          origins: tuple[str, ...] = ("A", "B", "random"),
+                          min_fidelity: float = DEFAULT_MIN_FIDELITY,
+                          ) -> list[ScenarioSpec]:
+    """The single-kind scenario grid of the long runs (Section 6.2).
+
+    The full paper grid (both hardware setups, MD with k_max=255, three
+    origins) contains 169 scenarios; this function generates any sub-grid of
+    it.
+    """
+    config = _hardware(hardware)
+    specs = []
+    for kind in kinds:
+        priority = Priority[kind]
+        for load_name in loads:
+            load = LONG_RUN_LOADS[load_name]
+            pair_options = max_pairs_options
+            if kind == "MD" and 255 not in pair_options:
+                pair_options = tuple(max_pairs_options)
+            for max_pairs in pair_options:
+                for origin in origins:
+                    workload = WorkloadSpec(priority=priority,
+                                            load_fraction=load,
+                                            max_pairs=max_pairs,
+                                            origin=origin,
+                                            min_fidelity=min_fidelity)
+                    name = (f"{hardware}_{kind}_{load_name}_k{max_pairs}_"
+                            f"origin{origin.upper()[0]}")
+                    specs.append(ScenarioSpec(name=name, scenario=config,
+                                              workload=(workload,)))
+    return specs
+
+
+def mixed_kind_scenarios(hardware: str = "QL2020",
+                         patterns: tuple[str, ...] = tuple(USAGE_PATTERNS),
+                         schedulers: tuple[str, ...] = ("FCFS", "HigherWFQ"),
+                         ) -> list[ScenarioSpec]:
+    """Mixed-priority scenarios of Section 6.3 / Appendix C.2."""
+    config = _hardware(hardware)
+    specs = []
+    for pattern_name in patterns:
+        pattern = USAGE_PATTERNS[pattern_name]
+        for scheduler in schedulers:
+            name = f"{hardware}_{pattern.name}_{scheduler}"
+            specs.append(ScenarioSpec(name=name, scenario=config,
+                                      workload=pattern.specs,
+                                      scheduler=scheduler))
+    return specs
+
+
+def table1_scenarios(hardware: str = "QL2020") -> list[ScenarioSpec]:
+    """The two request patterns of Table 1 (uniform, and no-NL-more-MD).
+
+    Pairs per request are fixed: 2 (NL), 2 (CK) and 10 (MD).
+    """
+    config = _hardware(hardware)
+    uniform = (
+        WorkloadSpec(priority=Priority.NL, load_fraction=0.99 / 3, num_pairs=2),
+        WorkloadSpec(priority=Priority.CK, load_fraction=0.99 / 3, num_pairs=2),
+        WorkloadSpec(priority=Priority.MD, load_fraction=0.99 / 3, num_pairs=10),
+    )
+    no_nl_more_md = (
+        WorkloadSpec(priority=Priority.CK, load_fraction=0.99 / 5, num_pairs=2),
+        WorkloadSpec(priority=Priority.MD, load_fraction=0.99 * 4 / 5, num_pairs=10),
+    )
+    specs = []
+    for pattern_name, workload in (("uniform", uniform),
+                                   ("noNLmoreMD", no_nl_more_md)):
+        for scheduler in ("FCFS", "HigherWFQ"):
+            specs.append(ScenarioSpec(name=f"table1_{pattern_name}_{scheduler}",
+                                      scenario=config, workload=workload,
+                                      scheduler=scheduler))
+    return specs

@@ -1,0 +1,144 @@
+"""Point-to-point channels with delay and loss.
+
+Two channel families are provided:
+
+``ClassicalChannel``
+    Carries classical messages (MHP GEN/REPLY frames, DQP frames, EGP
+    EXPIRE frames).  Each message is delayed by the propagation delay of the
+    connection and independently dropped with a configurable loss
+    probability — the knob used for the robustness study of Section 6.1.
+
+``QuantumChannel``
+    Carries "flying qubit" payloads (the photonic qubits travelling to the
+    heralding station).  Losses on the quantum channel are *not* modelled
+    here — photon loss is part of the optical model applied by the hardware
+    layer (amplitude damping on the presence/absence encoding), so the
+    quantum channel only contributes propagation delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.entity import Entity
+
+#: Speed of light in optical fibre, km/s (value used in the paper, Appendix A.4).
+FIBRE_LIGHT_SPEED_KM_S = 206753.0
+
+
+def fibre_delay(length_km: float) -> float:
+    """Propagation delay in seconds over ``length_km`` of standard fibre."""
+    if length_km < 0:
+        raise ValueError(f"negative fibre length {length_km}")
+    return length_km / FIBRE_LIGHT_SPEED_KM_S
+
+
+@dataclass
+class ChannelDelivery:
+    """Record of a single delivery attempt on a channel (for diagnostics)."""
+
+    sent_at: float
+    delivered_at: Optional[float]
+    lost: bool
+    payload: Any
+
+
+class ClassicalChannel(Entity):
+    """Unidirectional classical channel with fixed delay and i.i.d. loss.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    delay:
+        One-way propagation delay in seconds.
+    loss_probability:
+        Probability that an individual message is silently dropped.  The
+        paper's robustness experiment sweeps this from 0 up to 1e-4.
+    rng:
+        Numpy random generator; if omitted a default generator is created.
+    name:
+        Identifier used in diagnostics.
+    """
+
+    def __init__(self, engine: SimulationEngine, delay: float,
+                 loss_probability: float = 0.0,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "") -> None:
+        super().__init__(engine, name=name or "ClassicalChannel")
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError(f"loss probability {loss_probability} not in [0, 1]")
+        self.delay = float(delay)
+        self.loss_probability = float(loss_probability)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._receiver: Optional[Callable[[Any], None]] = None
+        self.history: list[ChannelDelivery] = []
+        self.record_history = False
+        self.messages_sent = 0
+        self.messages_lost = 0
+
+    def connect(self, receiver: Callable[[Any], None]) -> None:
+        """Register the callback invoked when a message is delivered."""
+        self._receiver = receiver
+
+    def send(self, payload: Any) -> bool:
+        """Send ``payload`` down the channel.
+
+        Returns ``True`` if the message will be delivered, ``False`` if it was
+        lost.  The caller does not normally inspect the return value (a real
+        sender cannot know) — it exists for tests and diagnostics.
+        """
+        if self._receiver is None:
+            raise RuntimeError(f"channel {self.name} has no receiver connected")
+        self.messages_sent += 1
+        lost = self._rng.random() < self.loss_probability
+        delivered_at: Optional[float] = None
+        if lost:
+            self.messages_lost += 1
+        else:
+            delivered_at = self.now + self.delay
+            receiver = self._receiver
+            self.call_after(self.delay, lambda p=payload: receiver(p),
+                            name=f"{self.name}.deliver")
+        if self.record_history:
+            self.history.append(ChannelDelivery(
+                sent_at=self.now, delivered_at=delivered_at,
+                lost=lost, payload=payload))
+        return not lost
+
+
+class QuantumChannel(Entity):
+    """Unidirectional quantum channel contributing only propagation delay.
+
+    Photon loss is accounted for in the optical model (collection,
+    transmission and detection efficiencies folded into the heralding
+    success probability), so this channel never drops payloads.
+    """
+
+    def __init__(self, engine: SimulationEngine, delay: float,
+                 name: str = "") -> None:
+        super().__init__(engine, name=name or "QuantumChannel")
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.delay = float(delay)
+        self._receiver: Optional[Callable[[Any], None]] = None
+        self.qubits_sent = 0
+
+    def connect(self, receiver: Callable[[Any], None]) -> None:
+        """Register the callback invoked when a flying qubit arrives."""
+        self._receiver = receiver
+
+    def send(self, payload: Any) -> None:
+        """Send a flying-qubit payload down the fibre."""
+        if self._receiver is None:
+            raise RuntimeError(f"channel {self.name} has no receiver connected")
+        self.qubits_sent += 1
+        receiver = self._receiver
+        self.call_after(self.delay, lambda p=payload: receiver(p),
+                        name=f"{self.name}.deliver")

@@ -1,0 +1,98 @@
+"""Periodic clock used to drive MHP time slots.
+
+The physical layer makes entanglement attempts in fixed, globally
+synchronised time slots (the "MHP cycle").  The :class:`Clock` entity fires a
+callback at the start of every cycle and exposes helpers to convert between
+cycle numbers and simulation time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.entity import Entity
+
+
+class Clock(Entity):
+    """Fixed-period clock.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    period:
+        Cycle duration in seconds (the MHP cycle time).
+    offset:
+        Time of the first tick.
+    """
+
+    def __init__(self, engine: SimulationEngine, period: float,
+                 offset: float = 0.0, name: str = "") -> None:
+        super().__init__(engine, name=name or "Clock")
+        if period <= 0:
+            raise ValueError(f"clock period must be positive, got {period}")
+        self.period = float(period)
+        self.offset = float(offset)
+        self._listeners: list[Callable[[int], None]] = []
+        self._cycle = 0
+        self._running = False
+        self._next_event: Optional[EventHandle] = None
+
+    @property
+    def cycle(self) -> int:
+        """Number of the most recently fired cycle (0 before the first tick)."""
+        return self._cycle
+
+    def add_listener(self, callback: Callable[[int], None]) -> None:
+        """Register a callback invoked with the cycle number on every tick."""
+        self._listeners.append(callback)
+
+    def cycle_to_time(self, cycle: int) -> float:
+        """Simulation time at which ``cycle`` starts."""
+        return self.offset + cycle * self.period
+
+    def time_to_cycle(self, time: float) -> int:
+        """Cycle number containing the simulation time ``time``.
+
+        Times before the first tick map to cycle 0.
+        """
+        if time <= self.offset:
+            return 0
+        # Guard against floating-point rounding putting an exact cycle start
+        # into the previous cycle.
+        return int((time - self.offset) / self.period + 1e-9)
+
+    def next_cycle_at_or_after(self, time: float) -> int:
+        """First cycle whose start time is >= ``time``."""
+        if time <= self.offset:
+            return 0
+        cycles = (time - self.offset) / self.period
+        whole = int(cycles)
+        if self.cycle_to_time(whole) >= time:
+            return whole
+        return whole + 1
+
+    def start(self) -> None:
+        """Start ticking.  The first tick fires at ``offset`` (or now if past)."""
+        if self._running:
+            return
+        self._running = True
+        first = max(self.offset, self.now)
+        self._next_event = self.call_at(first, self._tick, name=f"{self.name}.tick")
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        self._running = False
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._cycle = self.time_to_cycle(self.now)
+        for listener in list(self._listeners):
+            listener(self._cycle)
+        self._next_event = self.call_after(self.period, self._tick,
+                                           name=f"{self.name}.tick")

@@ -1,0 +1,195 @@
+"""Event-driven simulation engine.
+
+The engine is a priority queue of timestamped events.  Time is a float in
+seconds.  Events scheduled at the same timestamp are executed in insertion
+order, which gives deterministic behaviour for protocols that schedule several
+actions "now".
+
+The engine is deliberately minimal: the sophistication of the reproduction
+lives in the protocol and hardware models, not in the scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used incorrectly (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events sort by ``(time, sequence)`` so that simultaneous events run in the
+    order they were scheduled.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationEngine.schedule`.
+
+    Allows the caller to cancel the event before it fires.
+    """
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Timestamp at which the event will fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event.  A cancelled event is skipped by the engine."""
+        self._event.cancelled = True
+
+
+class SimulationEngine:
+    """Discrete-event simulation engine.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation time in seconds (default ``0.0``).
+
+    Examples
+    --------
+    >>> engine = SimulationEngine()
+    >>> fired = []
+    >>> _ = engine.schedule_at(1.0, lambda: fired.append(engine.now))
+    >>> engine.run()
+    >>> fired
+    [1.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    name: str = "") -> EventHandle:
+        """Schedule ``callback`` to run at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} (now is {self._now})")
+        event = Event(time=float(time), sequence=next(self._counter),
+                      callback=callback, name=name)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None],
+                       name: str = "") -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, name=name)
+
+    def schedule_now(self, callback: Callable[[], None],
+                     name: str = "") -> EventHandle:
+        """Schedule ``callback`` to run at the current time, after pending
+        events with the same timestamp."""
+        return self.schedule_at(self._now, callback, name=name)
+
+    def step(self) -> bool:
+        """Run the next (non-cancelled) event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue is
+        empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulation time reaches this value (events scheduled at
+            exactly ``until`` are executed).  ``None`` runs until the queue is
+            empty.
+        max_events:
+            Optional safety limit on the number of events executed in this
+            call.
+
+        Returns
+        -------
+        float
+            The simulation time at which the run stopped.
+        """
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                executed += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next non-cancelled event without removing it."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Clear the queue and reset the clock.  Mostly useful in tests."""
+        self._queue.clear()
+        self._now = float(start_time)
+        self._counter = itertools.count()
+        self._processed = 0

@@ -1,0 +1,95 @@
+"""Simulation entities and protocols.
+
+An :class:`Entity` is anything that lives on the simulation timeline and can
+schedule callbacks (a node, a heralding station, a channel).  A
+:class:`Protocol` is an entity with an explicit ``start``/``stop`` lifecycle —
+the MHP and EGP are protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import EventHandle, SimulationEngine
+
+
+class Entity:
+    """Base class for objects that participate in a simulation.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine this entity schedules events on.
+    name:
+        Human-readable identifier used in logs and error messages.
+    """
+
+    def __init__(self, engine: SimulationEngine, name: str = "") -> None:
+        self._engine = engine
+        self.name = name or self.__class__.__name__
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The simulation engine this entity is attached to."""
+        return self._engine
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._engine.now
+
+    def call_at(self, time: float, callback: Callable[[], None],
+                name: str = "") -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time``."""
+        return self._engine.schedule_at(time, callback,
+                                        name=name or self.name)
+
+    def call_after(self, delay: float, callback: Callable[[], None],
+                   name: str = "") -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        return self._engine.schedule_after(delay, callback,
+                                           name=name or self.name)
+
+    def call_now(self, callback: Callable[[], None],
+                 name: str = "") -> EventHandle:
+        """Schedule ``callback`` at the current time."""
+        return self._engine.schedule_now(callback, name=name or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"<{self.__class__.__name__} {self.name!r} t={self.now:.6f}>"
+
+
+class Protocol(Entity):
+    """An entity with a start/stop lifecycle.
+
+    Subclasses override :meth:`on_start` and :meth:`on_stop`.
+    """
+
+    def __init__(self, engine: SimulationEngine, name: str = "") -> None:
+        super().__init__(engine, name=name)
+        self._started = False
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the protocol has been started and not stopped."""
+        return self._started
+
+    def start(self) -> None:
+        """Start the protocol.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.on_start()
+
+    def stop(self) -> None:
+        """Stop the protocol.  Idempotent."""
+        if not self._started:
+            return
+        self._started = False
+        self.on_stop()
+
+    def on_start(self) -> None:
+        """Hook called when the protocol starts."""
+
+    def on_stop(self) -> None:
+        """Hook called when the protocol stops."""

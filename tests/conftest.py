@@ -1,0 +1,33 @@
+"""Shared pytest fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.parameters import lab_scenario, ql2020_scenario
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    """A fresh simulation engine."""
+    return SimulationEngine()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def lab():
+    """The Lab hardware scenario (cached for the whole test session)."""
+    return lab_scenario()
+
+
+@pytest.fixture(scope="session")
+def ql2020():
+    """The QL2020 hardware scenario (cached for the whole test session)."""
+    return ql2020_scenario()

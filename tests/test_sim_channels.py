@@ -1,0 +1,152 @@
+"""Unit tests for classical/quantum channels and the MHP clock."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.channel import (
+    ClassicalChannel,
+    QuantumChannel,
+    FIBRE_LIGHT_SPEED_KM_S,
+    fibre_delay,
+)
+from repro.sim.clock import Clock
+from repro.sim.engine import SimulationEngine
+
+
+class TestFibreDelay:
+    def test_delay_scales_with_length(self):
+        assert fibre_delay(25.0) == pytest.approx(25.0 / FIBRE_LIGHT_SPEED_KM_S)
+
+    def test_zero_length(self):
+        assert fibre_delay(0.0) == 0.0
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            fibre_delay(-1.0)
+
+
+class TestClassicalChannel:
+    def test_delivers_after_delay(self, engine):
+        channel = ClassicalChannel(engine, delay=0.5)
+        received = []
+        channel.connect(lambda msg: received.append((engine.now, msg)))
+        channel.send("hello")
+        engine.run()
+        assert received == [(0.5, "hello")]
+
+    def test_preserves_message_order(self, engine):
+        channel = ClassicalChannel(engine, delay=0.1)
+        received = []
+        channel.connect(received.append)
+        for i in range(5):
+            channel.send(i)
+        engine.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_send_without_receiver_raises(self, engine):
+        channel = ClassicalChannel(engine, delay=0.1)
+        with pytest.raises(RuntimeError):
+            channel.send("x")
+
+    def test_zero_loss_never_drops(self, engine):
+        channel = ClassicalChannel(engine, delay=0.0, loss_probability=0.0)
+        received = []
+        channel.connect(received.append)
+        for i in range(100):
+            channel.send(i)
+        engine.run()
+        assert len(received) == 100
+        assert channel.messages_lost == 0
+
+    def test_full_loss_drops_everything(self, engine):
+        channel = ClassicalChannel(engine, delay=0.0, loss_probability=1.0)
+        received = []
+        channel.connect(received.append)
+        for i in range(50):
+            channel.send(i)
+        engine.run()
+        assert received == []
+        assert channel.messages_lost == 50
+
+    def test_partial_loss_statistics(self, engine):
+        rng = np.random.default_rng(7)
+        channel = ClassicalChannel(engine, delay=0.0, loss_probability=0.3,
+                                   rng=rng)
+        received = []
+        channel.connect(received.append)
+        total = 2000
+        for i in range(total):
+            channel.send(i)
+        engine.run()
+        loss_rate = channel.messages_lost / total
+        assert 0.25 < loss_rate < 0.35
+        assert len(received) == total - channel.messages_lost
+
+    def test_invalid_parameters(self, engine):
+        with pytest.raises(ValueError):
+            ClassicalChannel(engine, delay=-1.0)
+        with pytest.raises(ValueError):
+            ClassicalChannel(engine, delay=0.0, loss_probability=1.5)
+
+    def test_history_recording(self, engine):
+        channel = ClassicalChannel(engine, delay=0.2)
+        channel.record_history = True
+        channel.connect(lambda m: None)
+        channel.send("payload")
+        engine.run()
+        assert len(channel.history) == 1
+        assert channel.history[0].delivered_at == pytest.approx(0.2)
+        assert channel.history[0].lost is False
+
+
+class TestQuantumChannel:
+    def test_delivers_payload_after_delay(self, engine):
+        channel = QuantumChannel(engine, delay=1e-4)
+        received = []
+        channel.connect(lambda q: received.append((engine.now, q)))
+        channel.send("photon")
+        engine.run()
+        assert received == [(1e-4, "photon")]
+        assert channel.qubits_sent == 1
+
+    def test_requires_receiver(self, engine):
+        channel = QuantumChannel(engine, delay=0.0)
+        with pytest.raises(RuntimeError):
+            channel.send("photon")
+
+
+class TestClock:
+    def test_ticks_at_fixed_period(self, engine):
+        clock = Clock(engine, period=0.1)
+        ticks = []
+        clock.add_listener(lambda n: ticks.append((n, engine.now)))
+        clock.start()
+        engine.run(until=0.35)
+        assert [t for _, t in ticks] == pytest.approx([0.0, 0.1, 0.2, 0.3])
+
+    def test_cycle_time_conversions_roundtrip(self, engine):
+        clock = Clock(engine, period=10e-6)
+        for cycle in (0, 1, 7, 1000):
+            assert clock.time_to_cycle(clock.cycle_to_time(cycle)) == cycle
+
+    def test_next_cycle_at_or_after(self, engine):
+        clock = Clock(engine, period=1.0)
+        assert clock.next_cycle_at_or_after(0.0) == 0
+        assert clock.next_cycle_at_or_after(0.5) == 1
+        assert clock.next_cycle_at_or_after(2.0) == 2
+
+    def test_stop_prevents_further_ticks(self, engine):
+        clock = Clock(engine, period=0.1)
+        ticks = []
+        clock.add_listener(lambda n: ticks.append(n))
+        clock.start()
+        engine.run(until=0.15)
+        clock.stop()
+        engine.run(until=1.0)
+        assert len(ticks) == 2
+
+    def test_invalid_period(self, engine):
+        with pytest.raises(ValueError):
+            Clock(engine, period=0.0)

@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert SimulationEngine(start_time=5.0).now == 5.0
+
+    def test_schedule_at_runs_callback_at_time(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(2.5, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [2.5]
+
+    def test_schedule_after_is_relative(self):
+        engine = SimulationEngine(start_time=1.0)
+        fired = []
+        engine.schedule_after(0.5, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [1.5]
+
+    def test_schedule_in_past_raises(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(3.0, lambda: order.append("c"))
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_in_insertion_order(self):
+        engine = SimulationEngine()
+        order = []
+        for label in "abc":
+            engine.schedule_at(1.0, lambda l=label: order.append(l))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def outer():
+            fired.append(("outer", engine.now))
+            engine.schedule_after(1.0, inner)
+
+        def inner():
+            fired.append(("inner", engine.now))
+
+        engine.schedule_at(1.0, outer)
+        engine.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(5.0, lambda: fired.append(5))
+        engine.run(until=2.0)
+        assert fired == [1]
+        assert engine.now == 2.0
+
+    def test_run_until_includes_events_at_bound(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        engine.run(until=2.0)
+        assert fired == [2]
+
+    def test_remaining_events_run_on_next_call(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(3.0, lambda: fired.append(3))
+        engine.run(until=2.0)
+        engine.run(until=4.0)
+        assert fired == [1, 3]
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        fired = []
+        for i in range(10):
+            engine.schedule_at(float(i), lambda i=i: fired.append(i))
+        engine.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_processed_event_count(self):
+        engine = SimulationEngine()
+        for i in range(5):
+            engine.schedule_at(float(i), lambda: None)
+        engine.run()
+        assert engine.processed_events == 5
+
+    def test_step_returns_false_on_empty_queue(self):
+        assert SimulationEngine().step() is False
+
+    def test_reset_clears_queue_and_clock(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+        assert engine.processed_events == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_one_of_many(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append("keep"))
+        handle = engine.schedule_at(2.0, lambda: fired.append("drop"))
+        engine.schedule_at(3.0, lambda: fired.append("keep2"))
+        handle.cancel()
+        engine.run()
+        assert fired == ["keep", "keep2"]
+
+    def test_handle_reports_time(self):
+        engine = SimulationEngine()
+        handle = engine.schedule_at(4.0, lambda: None)
+        assert handle.time == 4.0
