@@ -9,35 +9,62 @@ Three panels are regenerated on the QL2020 scenario with k_max = 3:
 
 The paper additionally shows that high F_min values stop being satisfiable
 for the NL (create-and-keep) service before the MD one.
+
+Both sweeps run through the :class:`~repro.runtime.sweep.SweepRunner` so a
+multi-core machine regenerates the panels in parallel (``REPRO_BENCH_WORKERS``
+sets the pool size; the results are identical to a serial run by
+construction).
 """
 
 from __future__ import annotations
 
+import os
+
 from benchmarks.conftest import BATCH, print_table, scaled
 from repro.core.messages import Priority, RequestType
-from repro.runtime.runner import run_scenario
+from repro.runtime.scenarios import ScenarioSpec
+from repro.runtime.sweep import run_sweep
 from repro.runtime.workload import WorkloadSpec
 
 LOAD_POINTS = [0.4, 0.7, 0.99]
 FIDELITY_POINTS = [0.55, 0.62, 0.68]
 
+#: Worker processes used by the benchmark sweeps.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
-def run_md(ql2020_config, load, min_fidelity, duration, seed=100):
-    spec = WorkloadSpec(priority=Priority.MD, load_fraction=load, max_pairs=3,
-                        min_fidelity=min_fidelity)
-    return run_scenario(ql2020_config, [spec], duration=duration, seed=seed,
-                        attempt_batch_size=BATCH)
+
+def md_specs(ql2020_config, points, prefix) -> list[ScenarioSpec]:
+    """One MD scenario per (load, F_min) sweep point."""
+    specs = []
+    for load, min_fidelity in points:
+        workload = WorkloadSpec(priority=Priority.MD, load_fraction=load,
+                                max_pairs=3, min_fidelity=min_fidelity)
+        specs.append(ScenarioSpec(
+            name=f"{prefix}_f{load:.2f}_F{min_fidelity:.2f}",
+            scenario=ql2020_config, workload=(workload,),
+            attempt_batch_size=BATCH))
+    return specs
+
+
+def sweep_panel(specs, duration, master_seed, prefix):
+    """Run one figure panel: all points share a seed (paired comparison)."""
+    result = run_sweep(specs, duration, master_seed=master_seed,
+                       workers=WORKERS, seed_key=lambda spec: prefix)
+    failed = result.failed
+    assert not failed, f"scenarios failed: {[o.scenario_name for o in failed]}"
+    return result
 
 
 def test_fig6a_scaled_latency_vs_load(benchmark, ql2020_config):
     duration = scaled(6.0)
-    results = []
+    specs = md_specs(ql2020_config, [(load, 0.62) for load in LOAD_POINTS],
+                     prefix="fig6a")
 
     def sweep():
+        result = sweep_panel(specs, duration, 101, "fig6a")
         rows = []
-        for load in LOAD_POINTS:
-            result = run_md(ql2020_config, load, 0.62, duration, seed=101)
-            summary = result.summary
+        for load, outcome in zip(LOAD_POINTS, result.outcomes):
+            summary = outcome.summary
             rows.append((load, summary.average_scaled_latency.get("MD", 0.0),
                          summary.throughput.get("MD", 0.0)))
         return rows
@@ -53,12 +80,14 @@ def test_fig6a_scaled_latency_vs_load(benchmark, ql2020_config):
 
 def test_fig6bc_latency_and_throughput_vs_fidelity(benchmark, ql2020_config):
     duration = scaled(6.0)
+    specs = md_specs(ql2020_config, [(0.99, fmin) for fmin in FIDELITY_POINTS],
+                     prefix="fig6bc")
 
     def sweep():
+        result = sweep_panel(specs, duration, 102, "fig6bc")
         rows = []
-        for fmin in FIDELITY_POINTS:
-            result = run_md(ql2020_config, 0.99, fmin, duration, seed=102)
-            summary = result.summary
+        for fmin, outcome in zip(FIDELITY_POINTS, result.outcomes):
+            summary = outcome.summary
             rows.append((fmin, summary.average_scaled_latency.get("MD", 0.0),
                          summary.throughput.get("MD", 0.0),
                          summary.average_fidelity.get("MD")))

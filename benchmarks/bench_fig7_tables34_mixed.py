@@ -8,16 +8,30 @@ strict priority caps its request latency well below its FCFS value.
 
 from __future__ import annotations
 
+import os
+
 from benchmarks.conftest import BATCH, print_table, scaled
 from repro.runtime.scenarios import USAGE_PATTERNS, mixed_kind_scenarios
+from repro.runtime.sweep import run_sweep
+
+#: Worker processes used by the benchmark sweeps.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def run_mixed(hardware, patterns, schedulers, duration):
-    results = {}
-    for spec in mixed_kind_scenarios(hardware, patterns=patterns,
-                                     schedulers=schedulers):
-        results[spec.name] = spec.run(duration, attempt_batch_size=BATCH)
-    return results
+    """Sweep the pattern x scheduler grid; scenario name -> outcome.
+
+    Scenarios are seed-grouped by usage pattern so every scheduler sees the
+    same arrival randomness — the paper's scheduler comparisons are paired.
+    """
+    specs = mixed_kind_scenarios(hardware, patterns=patterns,
+                                 schedulers=schedulers,
+                                 attempt_batch_size=BATCH)
+    result = run_sweep(specs, duration, master_seed=12345, workers=WORKERS,
+                       seed_key=lambda spec: spec.name.rsplit("_", 1)[0])
+    failed = result.failed
+    assert not failed, f"scenarios failed: {[o.scenario_name for o in failed]}"
+    return {outcome.scenario_name: outcome for outcome in result.outcomes}
 
 
 def test_tables3_4_mixed_priorities_ql2020(benchmark):

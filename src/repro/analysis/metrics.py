@@ -16,7 +16,7 @@ produces the metrics used throughout the paper's evaluation:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from statistics import mean
 from typing import Optional
 
@@ -99,7 +99,13 @@ class RequestRecord:
 
 @dataclass
 class MetricsSummary:
-    """Aggregated metrics over one simulation run."""
+    """Aggregated metrics over one simulation run.
+
+    The summary is deliberately *plain data* (floats, ints and string-keyed
+    dicts of them): it is the payload shipped back from sweep worker
+    processes and stored in sweep caches, so it must survive pickling and a
+    JSON round-trip without loss.
+    """
 
     duration: float
     throughput: dict[str, float]
@@ -118,6 +124,17 @@ class MetricsSummary:
     def throughput_total(self) -> float:
         """Total delivered pairs per second across all classes."""
         return sum(self.throughput.values())
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (exact float round-trip)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in known})
 
 
 class MetricsCollector:

@@ -1,13 +1,23 @@
-"""Workload generation, scenario catalogue and the simulation runner."""
+"""Workload generation, scenario catalogue, runner and sweep engine."""
 
 from repro.runtime.workload import WorkloadSpec, RequestGenerator, UsagePattern
-from repro.runtime.runner import SimulationRun, RunResult
+from repro.runtime.runner import SimulationRun, RunResult, run_scenario
 from repro.runtime.scenarios import (
     LONG_RUN_LOADS,
     USAGE_PATTERNS,
     single_kind_scenarios,
     mixed_kind_scenarios,
+    table1_scenarios,
+    robustness_scenarios,
+    paper_grid,
     ScenarioSpec,
+)
+from repro.runtime.sweep import (
+    ScenarioOutcome,
+    SweepResult,
+    SweepRunner,
+    derive_scenario_seeds,
+    run_sweep,
 )
 
 __all__ = [
@@ -16,9 +26,18 @@ __all__ = [
     "UsagePattern",
     "SimulationRun",
     "RunResult",
+    "run_scenario",
     "LONG_RUN_LOADS",
     "USAGE_PATTERNS",
     "single_kind_scenarios",
     "mixed_kind_scenarios",
+    "table1_scenarios",
+    "robustness_scenarios",
+    "paper_grid",
     "ScenarioSpec",
+    "ScenarioOutcome",
+    "SweepResult",
+    "SweepRunner",
+    "derive_scenario_seeds",
+    "run_sweep",
 ]

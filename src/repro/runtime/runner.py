@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.analysis.metrics import MetricsCollector, MetricsSummary
@@ -14,15 +14,36 @@ from repro.runtime.workload import RequestGenerator, WorkloadSpec
 
 @dataclass
 class RunResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    The summary fields are plain data so the result can cross process
+    boundaries (sweep workers) and be serialised.  The live ``metrics`` /
+    ``network`` handles are in-process conveniences only: they are excluded
+    from comparison and dropped when the result is pickled.
+    """
 
     scenario_name: str
     scheduler_name: str
     simulated_time: float
     summary: MetricsSummary
-    metrics: MetricsCollector
-    network: LinkLayerNetwork
     requests_issued: int
+    seed: Optional[int] = None
+    metrics: Optional[MetricsCollector] = field(default=None, repr=False,
+                                                compare=False)
+    network: Optional[LinkLayerNetwork] = field(default=None, repr=False,
+                                                compare=False)
+
+    def detached(self) -> "RunResult":
+        """A copy without the live simulation handles (picklable payload)."""
+        return replace(self, metrics=None, network=None)
+
+    def __getstate__(self) -> dict:
+        # Never ship the live network/collector across processes: they hold
+        # the full event queue and qubit states and are not picklable.
+        state = self.__dict__.copy()
+        state["metrics"] = None
+        state["network"] = None
+        return state
 
 
 class SimulationRun:
@@ -49,6 +70,7 @@ class SimulationRun:
                  emission_multiplexing: bool = True,
                  attempt_batch_size: int = 1) -> None:
         self.scenario = scenario
+        self.seed = seed
         self.network = LinkLayerNetwork(scenario, scheduler=scheduler,
                                         seed=seed,
                                         emission_multiplexing=emission_multiplexing,
@@ -70,9 +92,10 @@ class SimulationRun:
             scheduler_name=self._scheduler_name,
             simulated_time=duration,
             summary=self.metrics.summary(),
+            requests_issued=self.generator.requests_issued,
+            seed=self.seed,
             metrics=self.metrics,
             network=self.network,
-            requests_issued=self.generator.requests_issued,
         )
 
 

@@ -97,12 +97,16 @@ def single_kind_scenarios(hardware: str = "Lab",
                           max_pairs_options: tuple[int, ...] = (1, 3),
                           origins: tuple[str, ...] = ("A", "B", "random"),
                           min_fidelity: float = DEFAULT_MIN_FIDELITY,
+                          include_md_k255: bool = True,
+                          attempt_batch_size: int = 1,
                           ) -> list[ScenarioSpec]:
     """The single-kind scenario grid of the long runs (Section 6.2).
 
-    The full paper grid (both hardware setups, MD with k_max=255, three
-    origins) contains 169 scenarios; this function generates any sub-grid of
-    it.
+    MD requests additionally get the paper's ``k_max = 255`` variant (the
+    measure-directly service is the only one that asks for hundreds of pairs
+    per CREATE); disable with ``include_md_k255=False`` to generate an exact
+    product sub-grid.  The default grid over both hardware setups is the bulk
+    of the paper's 169 long-run scenarios (see :func:`paper_grid`).
     """
     config = _hardware(hardware)
     specs = []
@@ -111,8 +115,8 @@ def single_kind_scenarios(hardware: str = "Lab",
         for load_name in loads:
             load = LONG_RUN_LOADS[load_name]
             pair_options = max_pairs_options
-            if kind == "MD" and 255 not in pair_options:
-                pair_options = tuple(max_pairs_options)
+            if kind == "MD" and include_md_k255 and 255 not in pair_options:
+                pair_options = tuple(max_pairs_options) + (255,)
             for max_pairs in pair_options:
                 for origin in origins:
                     workload = WorkloadSpec(priority=priority,
@@ -122,14 +126,16 @@ def single_kind_scenarios(hardware: str = "Lab",
                                             min_fidelity=min_fidelity)
                     name = (f"{hardware}_{kind}_{load_name}_k{max_pairs}_"
                             f"origin{origin.upper()[0]}")
-                    specs.append(ScenarioSpec(name=name, scenario=config,
-                                              workload=(workload,)))
+                    specs.append(ScenarioSpec(
+                        name=name, scenario=config, workload=(workload,),
+                        attempt_batch_size=attempt_batch_size))
     return specs
 
 
 def mixed_kind_scenarios(hardware: str = "QL2020",
                          patterns: tuple[str, ...] = tuple(USAGE_PATTERNS),
                          schedulers: tuple[str, ...] = ("FCFS", "HigherWFQ"),
+                         attempt_batch_size: int = 1,
                          ) -> list[ScenarioSpec]:
     """Mixed-priority scenarios of Section 6.3 / Appendix C.2."""
     config = _hardware(hardware)
@@ -140,7 +146,8 @@ def mixed_kind_scenarios(hardware: str = "QL2020",
             name = f"{hardware}_{pattern.name}_{scheduler}"
             specs.append(ScenarioSpec(name=name, scenario=config,
                                       workload=pattern.specs,
-                                      scheduler=scheduler))
+                                      scheduler=scheduler,
+                                      attempt_batch_size=attempt_batch_size))
     return specs
 
 
@@ -166,4 +173,73 @@ def table1_scenarios(hardware: str = "QL2020") -> list[ScenarioSpec]:
             specs.append(ScenarioSpec(name=f"table1_{pattern_name}_{scheduler}",
                                       scenario=config, workload=workload,
                                       scheduler=scheduler))
+    return specs
+
+
+#: Frame-loss probabilities of the robustness study (Section 6.1 / Table 5).
+ROBUSTNESS_LOSS_PROBABILITIES: tuple[float, ...] = (0.0, 1e-6, 1e-4)
+
+
+def robustness_scenarios(hardware: str = "Lab",
+                         loss_probabilities: tuple[float, ...] =
+                         ROBUSTNESS_LOSS_PROBABILITIES,
+                         attempt_batch_size: int = 1) -> list[ScenarioSpec]:
+    """The classical frame-loss robustness scenarios of Section 6.1.
+
+    Per-attempt messaging (no batching by default) so that every classical
+    frame is individually exposed to loss, matching the paper's setup.
+    """
+    base = _hardware(hardware)
+    specs = []
+    for loss in loss_probabilities:
+        config = base.with_frame_loss(loss)
+        workload = WorkloadSpec(priority=Priority.MD, load_fraction=0.99,
+                                max_pairs=3,
+                                min_fidelity=DEFAULT_MIN_FIDELITY)
+        label = f"{loss:.0e}" if loss else "0"
+        specs.append(ScenarioSpec(name=f"{hardware}_robust_loss{label}",
+                                  scenario=config, workload=(workload,),
+                                  attempt_batch_size=attempt_batch_size))
+    return specs
+
+
+def paper_grid(hardwares: tuple[str, ...] = ("Lab", "QL2020"),
+               include_mixed: bool = True,
+               include_table1: bool = True,
+               include_robustness: bool = True,
+               attempt_batch_size: int = 1) -> list[ScenarioSpec]:
+    """The full evaluation grid of the paper's long runs — 169 scenarios.
+
+    Composition (Section 6):
+
+    * single-kind grid (Section 6.2): 3 kinds x 3 loads x k_max in {1, 3}
+      (plus k_max = 255 for MD) x 3 origins, on both hardware setups
+      — 2 x 63 = 126 scenarios;
+    * mixed-kind grid (Section 6.3 / Appendix C.2): 6 usage patterns x
+      3 schedulers x 2 hardware setups — 36 scenarios;
+    * Table 1 scheduling comparison: 2 patterns x 2 schedulers — 4 scenarios;
+    * robustness to classical frame loss (Section 6.1): 3 loss levels — 3.
+
+    Scenario names are unique across the grid, which the sweep cache relies
+    on for resume.
+    """
+    specs: list[ScenarioSpec] = []
+    for hardware in hardwares:
+        specs.extend(single_kind_scenarios(
+            hardware, attempt_batch_size=attempt_batch_size))
+    if include_mixed:
+        for hardware in hardwares:
+            specs.extend(mixed_kind_scenarios(
+                hardware, schedulers=("FCFS", "LowerWFQ", "HigherWFQ"),
+                attempt_batch_size=attempt_batch_size))
+    if include_table1:
+        table1 = table1_scenarios()
+        for spec in table1:
+            spec.attempt_batch_size = attempt_batch_size
+        specs.extend(table1)
+    if include_robustness:
+        specs.extend(robustness_scenarios())
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise RuntimeError("paper grid produced duplicate scenario names")
     return specs

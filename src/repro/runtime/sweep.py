@@ -1,0 +1,408 @@
+"""Parallel scenario sweeps — the engine behind the paper's 169-run grid.
+
+The paper's evaluation (Section 6.2) rests on a grid of 169 long-run
+scenarios plus mixed-kind and robustness sweeps.  :class:`SweepRunner` fans a
+list of :class:`~repro.runtime.scenarios.ScenarioSpec` out over a
+``multiprocessing`` pool and collects the per-scenario
+:class:`~repro.analysis.metrics.MetricsSummary` objects into a serialisable
+:class:`SweepResult`.
+
+Design points:
+
+* **Determinism** — every scenario gets its own seed derived from the master
+  seed with ``numpy.random.SeedSequence.spawn``; the derivation depends only
+  on (master seed, scenario index), never on worker count or completion
+  order, so a 4-worker sweep is bit-identical to a serial one and a grid can
+  be extended without disturbing the seeds of existing entries.
+* **Plain-data payloads** — workers ship back :class:`ScenarioOutcome`
+  records holding only summaries and strings; the live network / collector
+  handles never cross the process boundary.
+* **Resume** — with a ``cache_dir``, each completed scenario is written to
+  disk keyed by a hash of everything that determines its result (workload,
+  scheduler, seed, duration, batch size).  Re-running an interrupted sweep
+  skips the finished scenarios.
+* **Fault isolation** — a scenario that raises inside a worker is reported
+  as a failed outcome instead of poisoning the pool; the rest of the sweep
+  completes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import MetricsSummary
+from repro.runtime.scenarios import ScenarioSpec
+
+#: Cache-format version; bump when the outcome schema changes.
+CACHE_VERSION = 1
+
+
+def derive_scenario_seeds(master_seed: Optional[int],
+                          count: int) -> list[int]:
+    """Per-scenario seeds spawned deterministically from ``master_seed``.
+
+    Child ``i`` of ``SeedSequence(master_seed)`` depends only on the master
+    seed and ``i``, so extending a grid keeps the seeds of existing entries
+    stable (which the resume cache relies on).  The spawned entropy is
+    folded to a non-negative int64 because the runner derives the workload
+    seed as ``seed + 1``.
+    """
+    children = np.random.SeedSequence(master_seed).spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint64)[0] >> 1)
+            for child in children]
+
+
+def derive_keyed_seed(master_seed: Optional[int], key: object) -> int:
+    """Seed derived from ``master_seed`` and a stable grouping key.
+
+    Unlike index-based derivation this depends only on the key's ``repr``,
+    so scenarios sharing a key (e.g. the same workload under different
+    schedulers) see identical arrival randomness — the paired comparisons
+    behind the paper's scheduler tables need exactly that.  ``None`` draws
+    fresh OS entropy (matching :func:`derive_scenario_seeds`).
+    """
+    if master_seed is None:
+        master_seed = _fresh_master_seed()
+    digest = hashlib.sha256(repr(key).encode()).digest()
+    words = [int.from_bytes(digest[i:i + 4], "little")
+             for i in range(0, 16, 4)]
+    sequence = np.random.SeedSequence([master_seed, *words])
+    return int(sequence.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+def _fresh_master_seed() -> int:
+    """A random master seed drawn from OS entropy."""
+    return int(np.random.SeedSequence().generate_state(
+        1, dtype=np.uint64)[0] >> 1)
+
+
+def _scheduler_name(spec: ScenarioSpec) -> str:
+    scheduler = spec.scheduler
+    return scheduler if isinstance(scheduler, str) else scheduler.name
+
+
+@dataclass
+class ScenarioOutcome:
+    """Result of one scenario inside a sweep (plain data, JSON-safe)."""
+
+    scenario_name: str
+    scheduler_name: str
+    seed: int
+    duration: float
+    status: str = "ok"
+    summary: Optional[MetricsSummary] = None
+    requests_issued: int = 0
+    error: Optional[str] = None
+    wall_time: float = field(default=0.0, compare=False)
+    from_cache: bool = field(default=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario completed without an error."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        data = asdict(self)
+        data["summary"] = None if self.summary is None else self.summary.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output."""
+        summary = data.get("summary")
+        return cls(
+            scenario_name=data["scenario_name"],
+            scheduler_name=data["scheduler_name"],
+            seed=data["seed"],
+            duration=data["duration"],
+            status=data.get("status", "ok"),
+            summary=None if summary is None else MetricsSummary.from_dict(summary),
+            requests_issued=data.get("requests_issued", 0),
+            error=data.get("error"),
+            wall_time=data.get("wall_time", 0.0),
+            from_cache=data.get("from_cache", False),
+        )
+
+
+@dataclass
+class SweepResult:
+    """Collected outcomes of one sweep, in scenario order."""
+
+    master_seed: Optional[int]
+    duration: float
+    outcomes: list[ScenarioOutcome]
+
+    @property
+    def completed(self) -> list[ScenarioOutcome]:
+        """Outcomes that finished successfully."""
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def failed(self) -> list[ScenarioOutcome]:
+        """Outcomes whose scenario raised inside the worker."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def summaries(self) -> dict[str, MetricsSummary]:
+        """Scenario name -> summary for the successful outcomes."""
+        return {outcome.scenario_name: outcome.summary
+                for outcome in self.completed if outcome.summary is not None}
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation of the whole sweep."""
+        return {
+            "version": CACHE_VERSION,
+            "master_seed": self.master_seed,
+            "duration": self.duration,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        """Rebuild a sweep result from :meth:`to_dict` output."""
+        return cls(master_seed=data["master_seed"],
+                   duration=data["duration"],
+                   outcomes=[ScenarioOutcome.from_dict(entry)
+                             for entry in data["outcomes"]])
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise to a JSON string (exact float round-trip)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Parse a sweep result serialised with :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        """Write the sweep result to ``path`` as JSON."""
+        Path(path).write_text(self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepResult":
+        """Read a sweep result previously written with :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+
+def _execute_scenario(payload: tuple[int, ScenarioSpec, int, float],
+                      ) -> tuple[int, ScenarioOutcome]:
+    """Run one scenario inside a worker process.
+
+    Always returns an outcome — any exception becomes a ``status="error"``
+    record so a bad scenario cannot hang or poison the pool.
+    """
+    index, spec, seed, duration = payload
+    started = time.perf_counter()
+    try:
+        result = spec.run(duration, seed=seed)
+        outcome = ScenarioOutcome(
+            scenario_name=spec.name,
+            scheduler_name=result.scheduler_name,
+            seed=seed,
+            duration=duration,
+            status="ok",
+            summary=result.summary,
+            requests_issued=result.requests_issued,
+            wall_time=time.perf_counter() - started,
+        )
+    except Exception:
+        outcome = ScenarioOutcome(
+            scenario_name=spec.name,
+            scheduler_name=_scheduler_name(spec),
+            seed=seed,
+            duration=duration,
+            status="error",
+            error=traceback.format_exc(),
+            wall_time=time.perf_counter() - started,
+        )
+    return index, outcome
+
+
+class SweepRunner:
+    """Run many scenarios, optionally in parallel, with deterministic seeds.
+
+    Parameters
+    ----------
+    scenarios:
+        The :class:`ScenarioSpec` list to run.  Names must be unique — the
+        resume cache and :meth:`SweepResult.summaries` key on them.
+    duration:
+        Simulated seconds per scenario.
+    master_seed:
+        Root of the per-scenario seed derivation (see
+        :func:`derive_scenario_seeds`).
+    workers:
+        Worker processes; ``<= 1`` runs serially in-process.  Results are
+        identical either way.
+    cache_dir:
+        Directory for per-scenario resume files; ``None`` disables caching.
+        Only successful outcomes are cached, so failures are retried on the
+        next attempt.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap on Linux) and ``spawn`` otherwise.
+    on_outcome:
+        Optional callback invoked with each :class:`ScenarioOutcome` as it
+        completes (progress reporting).
+    seed_key:
+        Optional grouping function ``spec -> key``.  Scenarios with equal
+        keys get the *same* derived seed (see :func:`derive_keyed_seed`),
+        which makes e.g. scheduler comparisons paired.  Default: every
+        scenario gets its own index-derived seed.
+    """
+
+    def __init__(self, scenarios: Sequence[ScenarioSpec], duration: float,
+                 master_seed: Optional[int] = 12345, workers: int = 1,
+                 cache_dir: Optional[str | Path] = None,
+                 start_method: Optional[str] = None,
+                 on_outcome: Optional[Callable[[ScenarioOutcome], None]] = None,
+                 seed_key: Optional[Callable[[ScenarioSpec], object]] = None,
+                 ) -> None:
+        self.scenarios = list(scenarios)
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        names = [spec.name for spec in self.scenarios]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate scenario names: {sorted(duplicates)}")
+        self.duration = duration
+        # Resolve an unseeded sweep to a concrete seed once, so all seed
+        # derivations within this runner agree and the SweepResult records
+        # the seed that can reproduce the run.
+        self.master_seed = (master_seed if master_seed is not None
+                            else _fresh_master_seed())
+        self.workers = max(1, int(workers))
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.on_outcome = on_outcome
+        self.seed_key = seed_key
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------ #
+    # Seeds and cache keys
+    # ------------------------------------------------------------------ #
+    def scenario_seeds(self) -> list[int]:
+        """The derived per-scenario seeds, in scenario order."""
+        if self.seed_key is not None:
+            return [derive_keyed_seed(self.master_seed, self.seed_key(spec))
+                    for spec in self.scenarios]
+        return derive_scenario_seeds(self.master_seed, len(self.scenarios))
+
+    @staticmethod
+    def cache_key(spec: ScenarioSpec, seed: int, duration: float) -> str:
+        """Hash of everything that determines a scenario's result."""
+        workload = [{
+            "priority": int(w.priority),
+            "load_fraction": w.load_fraction,
+            "max_pairs": w.max_pairs,
+            "origin": w.origin,
+            "min_fidelity": w.min_fidelity,
+            "num_pairs": w.num_pairs,
+            "max_time": w.max_time,
+        } for w in spec.workload]
+        payload = {
+            "version": CACHE_VERSION,
+            "name": spec.name,
+            # Full hardware parameter set: any physics change (coherence
+            # times, optics, frame loss, ...) must miss the cache.
+            "hardware": dataclasses.asdict(spec.scenario),
+            "scheduler": _scheduler_name(spec),
+            "seed": seed,
+            "duration": duration,
+            "batch": spec.attempt_batch_size,
+            "workload": workload,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, default=repr).encode()
+        ).hexdigest()
+        return digest[:20]
+
+    def _cache_path(self, spec: ScenarioSpec, seed: int) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{self.cache_key(spec, seed, self.duration)}.json"
+
+    def _load_cached(self, spec: ScenarioSpec,
+                     seed: int) -> Optional[ScenarioOutcome]:
+        path = self._cache_path(spec, seed)
+        if path is None or not path.exists():
+            return None
+        try:
+            outcome = ScenarioOutcome.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return None  # corrupt entry: recompute
+        if not outcome.ok:
+            return None
+        outcome.from_cache = True
+        return outcome
+
+    def _store_cached(self, spec: ScenarioSpec, outcome: ScenarioOutcome,
+                      ) -> None:
+        path = self._cache_path(spec, outcome.seed)
+        if path is None or not outcome.ok:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(outcome.to_dict()))
+        tmp.replace(path)  # atomic: a killed sweep never leaves half a file
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> SweepResult:
+        """Run the sweep and return outcomes in scenario order."""
+        seeds = self.scenario_seeds()
+        outcomes: list[Optional[ScenarioOutcome]] = [None] * len(self.scenarios)
+        pending: list[tuple[int, ScenarioSpec, int, float]] = []
+        for index, (spec, seed) in enumerate(zip(self.scenarios, seeds)):
+            cached = self._load_cached(spec, seed)
+            if cached is not None:
+                outcomes[index] = cached
+                if self.on_outcome is not None:
+                    self.on_outcome(cached)
+            else:
+                pending.append((index, spec, seed, self.duration))
+
+        def record(index: int, outcome: ScenarioOutcome) -> None:
+            outcomes[index] = outcome
+            self._store_cached(self.scenarios[index], outcome)
+            if self.on_outcome is not None:
+                self.on_outcome(outcome)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                for payload in pending:
+                    record(*_execute_scenario(payload))
+            else:
+                context = multiprocessing.get_context(self.start_method)
+                processes = min(self.workers, len(pending))
+                with context.Pool(processes=processes) as pool:
+                    for index, outcome in pool.imap_unordered(
+                            _execute_scenario, pending):
+                        record(index, outcome)
+
+        assert all(outcome is not None for outcome in outcomes)
+        return SweepResult(master_seed=self.master_seed,
+                           duration=self.duration,
+                           outcomes=list(outcomes))
+
+
+def run_sweep(scenarios: Sequence[ScenarioSpec], duration: float,
+              master_seed: Optional[int] = 12345, workers: int = 1,
+              **kwargs) -> SweepResult:
+    """Convenience one-shot sweep (see :class:`SweepRunner`)."""
+    runner = SweepRunner(scenarios, duration, master_seed=master_seed,
+                         workers=workers, **kwargs)
+    return runner.run()

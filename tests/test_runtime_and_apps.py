@@ -102,13 +102,23 @@ class TestScenarioCatalogue:
     def test_single_kind_grid_sizes(self):
         specs = single_kind_scenarios("Lab", kinds=("MD",), loads=("High",),
                                       max_pairs_options=(1,), origins=("A",))
+        # MD always gains the paper's k_max=255 variant alongside k=1.
+        assert len(specs) == 2
+        assert {spec.workload[0].max_pairs for spec in specs} == {1, 255}
+        assert all(spec.name.startswith("Lab_MD_High") for spec in specs)
+
+    def test_md_k255_can_be_disabled_for_exact_subgrids(self):
+        specs = single_kind_scenarios("Lab", kinds=("MD",), loads=("High",),
+                                      max_pairs_options=(1,), origins=("A",),
+                                      include_md_k255=False)
         assert len(specs) == 1
-        assert specs[0].name.startswith("Lab_MD_High")
+        assert specs[0].workload[0].max_pairs == 1
 
     def test_full_grid_covers_all_combinations(self):
         specs = single_kind_scenarios("Lab")
-        # 3 kinds x 3 loads x 2 kmax x 3 origins = 54 scenarios per hardware.
-        assert len(specs) == 54
+        # NL/CK: 3 loads x 2 kmax x 3 origins = 18 each; MD additionally has
+        # the k_max=255 column: 3 x 3 x 3 = 27.  63 scenarios per hardware.
+        assert len(specs) == 63
 
     def test_mixed_scenarios_include_schedulers(self):
         specs = mixed_kind_scenarios("QL2020", patterns=("Uniform",),
