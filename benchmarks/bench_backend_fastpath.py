@@ -1,0 +1,81 @@
+"""Physics-backend fast path: analytic vs density on the Table-1 slice.
+
+Runs the Table 1 scheduling scenarios (QL2020, batched attempts) under the
+exact ``density`` backend and the closed-form ``analytic`` backend and
+compares wall-clock and the reproduced metrics.  The analytic backend
+resolves runs of failed MHP cycles in O(1) events (geometric fast-forward)
+and replaces the density-matrix setup with closed-form expressions, so the
+slice runs an order of magnitude faster while staying statistically
+equivalent (the tight equivalence bounds live in ``tests/test_backends.py``;
+here we assert the headline speedup and coarse agreement).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import print_table, record_perf, run_table1_slice, scaled
+
+#: Minimum analytic-over-density speedup asserted by the smoke benchmark.
+#: Locally the slice shows >15x; the floor is deliberately loose so shared-CI
+#: timing noise cannot flake the suite while a broken fast path (~1x) still
+#: fails.  Override with ``REPRO_BENCH_MIN_SPEEDUP`` for strict local runs.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _run_slice(backend: str, duration: float) -> tuple[dict, float, int]:
+    started = time.perf_counter()
+    summaries, events = run_table1_slice(duration, backend=backend)
+    return summaries, time.perf_counter() - started, events
+
+
+def test_analytic_fastpath_speedup():
+    duration = scaled(12.0)
+    density, density_wall, density_events = _run_slice("density", duration)
+    analytic, analytic_wall, analytic_events = _run_slice("analytic", duration)
+    speedup = density_wall / max(analytic_wall, 1e-9)
+
+    rows = [
+        ["density", f"{density_wall:.2f}", density_events,
+         f"{density_events / density_wall:,.0f}"],
+        ["analytic", f"{analytic_wall:.2f}", analytic_events,
+         f"{analytic_events / analytic_wall:,.0f}"],
+    ]
+    print_table(f"Backend fast path — Table 1 slice ({duration:.1f}s sim), "
+                f"speedup {speedup:.1f}x",
+                ["backend", "wall (s)", "events", "events/s"], rows)
+
+    metric_rows = []
+    for name in density:
+        for kind in ("NL", "CK", "MD"):
+            t_density = density[name].throughput.get(kind)
+            t_analytic = analytic[name].throughput.get(kind)
+            if t_density is None and t_analytic is None:
+                continue
+            metric_rows.append([name, kind,
+                                f"{t_density or 0.0:.3f}",
+                                f"{t_analytic or 0.0:.3f}"])
+    print_table("Throughput (1/s) by backend",
+                ["scenario", "kind", "density", "analytic"], metric_rows)
+
+    record_perf("bench_backend_fastpath", "test_analytic_fastpath_speedup",
+                speedup=round(speedup, 2),
+                density_wall_seconds=round(density_wall, 3),
+                analytic_wall_seconds=round(analytic_wall, 3),
+                density_events_per_second=round(density_events / density_wall),
+                analytic_events_per_second=round(analytic_events /
+                                                 analytic_wall),
+                simulated_seconds=duration)
+
+    assert speedup >= MIN_SPEEDUP, \
+        f"analytic fast path only {speedup:.1f}x faster (want {MIN_SPEEDUP}x)"
+    # Coarse agreement on the MD-dominated scenarios (large pair counts):
+    # tight statistical bounds are enforced in tests/test_backends.py.
+    for name in ("table1_noNLmoreMD_FCFS", "table1_noNLmoreMD_HigherWFQ"):
+        t_density = density[name].throughput.get("MD", 0.0)
+        t_analytic = analytic[name].throughput.get("MD", 0.0)
+        if t_density > 0 and t_analytic > 0:
+            ratio = max(t_density, t_analytic) / min(t_density, t_analytic)
+            assert ratio < 1.8, \
+                f"{name}: MD throughput diverges {t_density} vs {t_analytic}"

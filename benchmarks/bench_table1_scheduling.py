@@ -12,16 +12,24 @@ increases MD latency, and changes throughput only mildly.
 
 from __future__ import annotations
 
-from benchmarks.conftest import BATCH, print_table, scaled
-from repro.runtime.scenarios import table1_scenarios
+import time
+
+from benchmarks.conftest import (
+    bench_backend,
+    print_table,
+    record_perf,
+    run_table1_slice,
+    scaled,
+)
 
 
 def run_table1(duration):
-    rows = {}
-    for spec in table1_scenarios("QL2020"):
-        result = spec.run(duration, attempt_batch_size=BATCH)
-        summary = result.summary
-        rows[spec.name] = summary
+    started = time.perf_counter()
+    rows, events = run_table1_slice(duration)
+    record_perf("bench_table1_scheduling", "test_table1_fcfs_vs_wfq",
+                backend=bench_backend(), simulated_seconds=duration,
+                events_per_second=round(
+                    events / max(time.perf_counter() - started, 1e-9)))
     return rows
 
 

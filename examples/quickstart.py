@@ -8,6 +8,9 @@ node A and prints the resulting OK messages at both nodes.
 Run with::
 
     python examples/quickstart.py
+
+Set ``REPRO_BACKEND=analytic`` to run the same example on the closed-form
+physics fast path (see ``repro.backends``).
 """
 
 from __future__ import annotations

@@ -40,6 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the full 169-scenario paper grid")
     parser.add_argument("--batch", type=int, default=50,
                         help="MHP attempt batch size (larger = faster)")
+    parser.add_argument("--backend", default=None,
+                        help="physics backend: density (exact, default), "
+                             "analytic (closed-form fast path) or "
+                             "analytic-exact; falls back to $REPRO_BACKEND")
     parser.add_argument("--out", default="",
                         help="write the sweep result JSON to this path")
     return parser
@@ -48,14 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main() -> None:
     args = build_parser().parse_args()
     if args.paper_grid:
-        specs = paper_grid(attempt_batch_size=args.batch)
+        specs = paper_grid(attempt_batch_size=args.batch,
+                           backend=args.backend)
     else:
         specs = single_kind_scenarios(
             args.hardware, kinds=("NL", "CK", "MD"), loads=("Low", "High"),
             max_pairs_options=(1,), origins=("A", "B"),
-            include_md_k255=False, attempt_batch_size=args.batch)
+            include_md_k255=False, attempt_batch_size=args.batch,
+            backend=args.backend)
     print(f"Sweeping {len(specs)} scenarios x {args.duration:.2f} simulated "
-          f"seconds on {args.workers} worker(s), master seed {args.seed}")
+          f"seconds on {args.workers} worker(s), master seed {args.seed}, "
+          f"backend {specs[0].backend_name()}")
 
     done = 0
 

@@ -1,0 +1,187 @@
+"""Exact density-matrix physics backend.
+
+This backend is the reference model: it delegates heralding to the full
+density-matrix computation of :mod:`repro.hardware.heralding` (emission,
+beam-splitter Kraus operators, detector imperfections) and applies device
+noise through the Kraus machinery of :mod:`repro.quantum`.  It reproduces,
+operation for operation (including random-number consumption), the behaviour
+the simulation had before the backend layer existed.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.base import AttemptModel, HeraldSample, PhysicsBackend
+from repro.quantum import noise
+from repro.quantum.measurement import readout_kraus
+from repro.quantum.states import BellIndex, bell_state
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.messages import RequestType
+    from repro.hardware.heralding import HeraldedStateSampler
+    from repro.hardware.pair import EntangledPair
+    from repro.hardware.parameters import CoherenceTimes, ScenarioConfig
+
+
+def _sample_from_outcome(outcome) -> HeraldSample:
+    """Convert a heralding :class:`AttemptOutcome` into a HeraldSample."""
+    from repro.hardware.heralding import HeraldingOutcome
+
+    if outcome.outcome is HeraldingOutcome.PSI_PLUS:
+        code = 1
+    elif outcome.outcome is HeraldingOutcome.PSI_MINUS:
+        code = 2
+    else:
+        code = 0
+    state = None
+    if code and outcome.state is not None:
+        state = outcome.state.copy()
+    return HeraldSample(outcome_code=code, state=state)
+
+
+_FAILURE = HeraldSample(outcome_code=0, state=None)
+
+
+class DensityAttemptModel(AttemptModel):
+    """Attempt model backed by the exact :class:`HeraldedStateSampler`."""
+
+    def __init__(self, scenario: "ScenarioConfig", alpha: float) -> None:
+        from repro.hardware.heralding import HeraldedStateSampler
+
+        self.scenario = scenario
+        self.alpha = float(alpha)
+        self.sampler: "HeraldedStateSampler" = \
+            HeraldedStateSampler.for_scenario(scenario, float(alpha))
+
+    # ------------------------------------------------------------------ #
+    # Static properties
+    # ------------------------------------------------------------------ #
+    @property
+    def success_probability(self) -> float:
+        return self.sampler.success_probability
+
+    def average_success_fidelity(self,
+                                 target: Optional[BellIndex] = None) -> float:
+        return self.sampler.average_success_fidelity(target)
+
+    def delivered_fidelity(self, request_type: "RequestType") -> float:
+        from repro.core.messages import RequestType
+
+        successes = [o for o in self.sampler.outcomes
+                     if o.is_success and o.state]
+        total = sum(o.probability for o in successes)
+        if total <= 0:
+            return 0.0
+        gates = self.scenario.gates
+        timing = self.scenario.timing
+        weighted = 0.0
+        for outcome in successes:
+            state = outcome.state.copy()
+            target = outcome.outcome.bell_index
+            # Electron decay while waiting for the midpoint REPLY.
+            for qubit, delay in ((0, timing.midpoint_delay_a),
+                                 (1, timing.midpoint_delay_b)):
+                if delay > 0:
+                    state.apply_kraus(
+                        noise.t1_t2_kraus(delay, gates.electron_coherence.t1,
+                                          gates.electron_coherence.t2),
+                        qubits=[qubit])
+            if request_type is RequestType.KEEP:
+                # Move-to-memory gate noise (two E-C gates per side); the
+                # swap pulse sequence dynamically decouples the electron, so
+                # no extra free-evolution decay is added here, matching the
+                # device model.
+                swap_kraus = noise.depolarizing_kraus(gates.ec_gate_fidelity)
+                for qubit in (0, 1):
+                    state.apply_kraus(swap_kraus, qubits=[qubit])
+                    state.apply_kraus(swap_kraus, qubits=[qubit])
+            weighted += outcome.probability * state.fidelity_to_pure(
+                bell_state(target))
+        return weighted / total
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, rng: np.random.Generator) -> HeraldSample:
+        return _sample_from_outcome(self.sampler.sample(rng))
+
+    def resolve(self, rng: np.random.Generator,
+                max_attempts: int) -> tuple[int, HeraldSample]:
+        if max_attempts <= 1:
+            return 1, self.sample(rng)
+        success_attempt = self.sampler.sample_attempts_until_success(
+            rng, max_attempts)
+        if success_attempt is None:
+            return max_attempts, _FAILURE
+        return success_attempt, _sample_from_outcome(
+            self.sampler.sample_success(rng))
+
+
+class DensityMatrixBackend(PhysicsBackend):
+    """Exact backend: full density-matrix heralding and Kraus device noise.
+
+    The conservative default batching policy of :class:`PhysicsBackend` is
+    inherited unchanged — this backend never fast-forwards beyond the batch
+    size the caller configured.
+    """
+
+    name = "density"
+
+    # ------------------------------------------------------------------ #
+    # Heralding
+    # ------------------------------------------------------------------ #
+    def attempt_model(self, scenario: "ScenarioConfig",
+                      alpha: float) -> DensityAttemptModel:
+        return _cached_model(scenario, float(alpha))
+
+    # ------------------------------------------------------------------ #
+    # Local device physics
+    # ------------------------------------------------------------------ #
+    def apply_t1t2(self, pair: "EntangledPair", side: str,
+                   coherence: "CoherenceTimes", duration: float) -> None:
+        kraus = noise.t1_t2_kraus(duration, coherence.t1, coherence.t2)
+        pair.apply_one_sided_kraus(kraus, side)
+
+    def apply_depolarizing(self, pair: "EntangledPair", side: str,
+                           fidelity: float) -> None:
+        pair.apply_one_sided_kraus(noise.depolarizing_kraus(fidelity), side)
+
+    def apply_dephasing(self, pair: "EntangledPair", side: str,
+                        probability: float) -> None:
+        pair.apply_one_sided_kraus(noise.dephasing_kraus(probability), side)
+
+    def apply_correction(self, pair: "EntangledPair", side: str,
+                         gate_fidelity: float) -> None:
+        from repro.quantum import gates
+
+        pair.apply_one_sided_unitary(gates.Z, side)
+        if gate_fidelity < 1.0:
+            pair.apply_one_sided_kraus(
+                noise.depolarizing_kraus(gate_fidelity), side)
+
+    def measure_pair(self, pair: "EntangledPair", side: str, basis: str,
+                     readout_fidelity_0: float, readout_fidelity_1: float,
+                     rng: np.random.Generator) -> int:
+        from repro.quantum import gates
+
+        basis = basis.upper()
+        if basis == "X":
+            pair.apply_one_sided_unitary(gates.H, side)
+        elif basis == "Y":
+            # Rotate Y eigenstates onto Z: apply H S^dagger.
+            pair.apply_one_sided_unitary(gates.H @ gates.S.conj().T, side)
+        elif basis != "Z":
+            raise ValueError(f"unknown basis {basis!r}")
+        m0, m1 = readout_kraus(readout_fidelity_0, readout_fidelity_1)
+        qubit = 0 if side.upper() == "A" else 1
+        return pair.state.measure_povm([m0, m1], qubits=[qubit], rng=rng)
+
+
+@lru_cache(maxsize=256)
+def _cached_model(scenario: "ScenarioConfig",
+                  alpha: float) -> DensityAttemptModel:
+    return DensityAttemptModel(scenario, alpha)

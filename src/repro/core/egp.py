@@ -64,6 +64,11 @@ class _InFlightAttempt:
     pair_index: int
     allocation: Optional[QubitAllocation]
     started_at: float
+    #: Granted batch size and attempt stride (cycles between attempts).
+    batch: int = 1
+    stride: int = 1
+    #: Handle of the reply watchdog, cancelled when the REPLY arrives.
+    watchdog: Optional[object] = None
 
 
 @dataclass
@@ -110,11 +115,15 @@ class EGP(Protocol):
                  feu: FidelityEstimationUnit, scheduler: SchedulingStrategy,
                  rng: Optional[np.random.Generator] = None,
                  emission_multiplexing: bool = True,
-                 attempt_batch_size: int = 1) -> None:
+                 attempt_batch_size: int = 1,
+                 backend=None) -> None:
+        from repro.backends import get_backend
+
         super().__init__(engine, name=f"EGP-{node_name}")
         self.node_name = node_name
         self.peer_name = peer_name
         self.scenario = scenario
+        self.backend = get_backend(backend)
         self.device = device
         self.mhp = mhp
         self.dqp = dqp
@@ -364,7 +373,15 @@ class EGP(Protocol):
                 self.qmm.release(allocation)
             return PollResponse.no_attempt()
 
-        batch = self._granted_batch(request)
+        # Batching policy belongs to the physics backend: the exact backend
+        # never goes beyond the configured batch size, while the analytic
+        # backend widens the window so runs of failed cycles resolve in O(1)
+        # events (Section 5.1 batched operation).
+        grant = self.backend.granted_batch(
+            request.request_type, self.attempt_batch_size,
+            self.emission_multiplexing, self.scenario.timing,
+            frame_loss_probability=(
+                self.scenario.classical.frame_loss_probability))
         attempt = _InFlightAttempt(
             cycle=cycle,
             queue_id=item.queue_id,
@@ -374,6 +391,8 @@ class EGP(Protocol):
             pair_index=item.pairs_delivered + 1,
             allocation=allocation,
             started_at=now,
+            batch=grant.batch,
+            stride=grant.stride,
         )
         self._inflight[cycle] = attempt
         self.statistics["attempts"] += 1
@@ -382,14 +401,22 @@ class EGP(Protocol):
                     or not self.emission_multiplexing)
         if blocking:
             self._blocking_cycle = cycle
-            self._schedule_reply_watchdog(cycle, batch)
+            attempt.watchdog = self._schedule_reply_watchdog(cycle, grant)
         if request.request_type is RequestType.KEEP:
             # Deterministic spacing of K attempts (t_attempt / r_attempt of
             # Section 4.4): both nodes derive the earliest next attempt from
             # the attempt's cycle, not from when their own REPLY arrives, so
-            # their trigger cycles remain synchronised.
-            spacing = max(self.scenario.timing.attempt_spacing_k,
-                          batch * self.scenario.timing.mhp_cycle)
+            # their trigger cycles remain synchronised.  For batches the
+            # next attempt may start one spacing after the batch's last
+            # attempt (shortened again in handle_reply when the REPLY
+            # reports an earlier success).
+            timing = self.scenario.timing
+            if grant.stride == 1:
+                spacing = max(timing.attempt_spacing_k,
+                              grant.batch * timing.mhp_cycle)
+            else:
+                spacing = ((grant.batch - 1) * grant.stride * timing.mhp_cycle
+                           + timing.attempt_spacing_k)
             self._next_keep_attempt_time = self.mhp.cycle_start(cycle) + spacing
 
         return PollResponse(
@@ -400,32 +427,21 @@ class EGP(Protocol):
             pair_index=attempt.pair_index,
             measure_basis=request.measure_basis or "Z",
             create_id=request.create_id,
-            max_attempts=batch,
+            max_attempts=grant.batch,
+            attempt_stride=grant.stride,
         )
 
-    def _granted_batch(self, request: EntanglementRequest) -> int:
-        """How many consecutive attempts the MHP may make without re-polling.
+    def _reply_sync_time(self, reply: MHPReply) -> float:
+        """Deterministic scheduling floor for ``reply`` (never its arrival).
 
-        Batched operation (Section 5.1) is only allowed when nothing between
-        attempts depends on the previous REPLY: measure-directly requests with
-        emission multiplexing always qualify; create-and-keep requests qualify
-        only when the round-trip to the midpoint fits within one MHP cycle
-        (the Lab scenario) — otherwise an attempt must wait for the previous
-        REPLY and batching would misrepresent the attempt rate.
+        See :meth:`MHPReply.sync_close_time`: both nodes compute the same
+        value, so post-REPLY scheduling stays aligned; the cost is that the
+        nearer node idles for the delay asymmetry before its next attempt.
         """
-        if self.attempt_batch_size <= 1:
-            return 1
-        timing = self.scenario.timing
-        round_trip = 2 * max(timing.midpoint_delay_a, timing.midpoint_delay_b)
-        if request.request_type is RequestType.MEASURE:
-            if self.emission_multiplexing:
-                return self.attempt_batch_size
-            return 1
-        if round_trip <= timing.mhp_cycle:
-            return self.attempt_batch_size
-        return 1
+        return max(self.now, reply.sync_close_time(self.scenario.timing))
 
-    def _account_carbon_reinitialisation(self, attempts: int) -> None:
+    def _account_carbon_reinitialisation(self, attempts: int,
+                                         base_time: float) -> None:
         """Model the periodic carbon re-initialisation overhead for K attempts.
 
         The carbon memory must be re-initialised for ``carbon_reinit_duration``
@@ -438,15 +454,16 @@ class EGP(Protocol):
         while self._keep_attempt_time_since_reinit >= gates.carbon_reinit_period:
             self._keep_attempt_time_since_reinit -= gates.carbon_reinit_period
             self._busy_until = max(self._busy_until,
-                                   self.now + gates.carbon_reinit_duration)
+                                   base_time + gates.carbon_reinit_duration)
 
-    def _schedule_reply_watchdog(self, cycle: int, batch: int = 1) -> None:
+    def _schedule_reply_watchdog(self, cycle: int, grant=None):
         timing = self.scenario.timing
+        cycles = 1 if grant is None else grant.cycles
         deadline = (2 * max(timing.midpoint_delay_a, timing.midpoint_delay_b)
-                    + (batch + 20) * timing.mhp_cycle)
-        self.call_after(deadline,
-                        lambda c=cycle: self._reply_watchdog(c),
-                        name=f"{self.name}.reply_watchdog")
+                    + (cycles + 20) * timing.mhp_cycle)
+        return self.call_after(deadline,
+                               lambda c=cycle: self._reply_watchdog(c),
+                               name=f"{self.name}.reply_watchdog")
 
     def _reply_watchdog(self, cycle: int) -> None:
         """Recover from a REPLY that never arrived (lost classical frame)."""
@@ -465,22 +482,41 @@ class EGP(Protocol):
     # ------------------------------------------------------------------ #
     def handle_reply(self, reply: MHPReply) -> None:
         """Process a RESULT forwarded by the MHP (paper Protocol 2, step 3)."""
+        # All post-REPLY scheduling is floored at the deterministic sync
+        # time so that both nodes pick the same next attempt cycle despite
+        # their different reply delays (see _reply_sync_time).
+        sync = self._reply_sync_time(reply)
         attempt = self._inflight.pop(reply.cycle, None)
         if self._blocking_cycle == reply.cycle:
             self._blocking_cycle = None
+        if attempt is not None and attempt.watchdog is not None:
+            attempt.watchdog.cancel()
+            attempt.watchdog = None
         if attempt is not None and attempt.request_type is RequestType.KEEP:
-            self._account_carbon_reinitialisation(reply.attempts_used)
+            self._account_carbon_reinitialisation(reply.attempts_used, sync)
+            if attempt.batch > 1:
+                # Batched K window: the REPLY pins down which attempt of the
+                # window succeeded (or that all failed), so the next attempt
+                # may start one spacing after that attempt instead of after
+                # the whole granted window.  Derived from REPLY fields only,
+                # so both nodes stay synchronised.
+                timing = self.scenario.timing
+                attempt_time = (self.mhp.cycle_start(attempt.cycle)
+                                + (reply.attempts_used - 1) * attempt.stride
+                                * timing.mhp_cycle)
+                self._next_keep_attempt_time = (attempt_time
+                                                + timing.attempt_spacing_k)
 
         if reply.error is not MHPError.NONE:
             if attempt is not None and attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work()
+            self.mhp.notify_work(not_before=sync)
             return
 
         if not reply.success:
             if attempt is not None and attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work()
+            self.mhp.notify_work(not_before=sync)
             return
 
         item = self.dqp.get(reply.queue_id) if reply.queue_id else None
@@ -495,7 +531,7 @@ class EGP(Protocol):
                 self._send_expire(reply.queue_id,
                                   create_id=attempt.create_id if attempt else 0,
                                   low=reply.sequence, high=reply.sequence)
-            self.mhp.notify_work()
+            self.mhp.notify_work(not_before=sync)
             return
 
         # Sequence-number processing (Protocol 2, step 3(c)iii).
@@ -512,12 +548,12 @@ class EGP(Protocol):
             self._expected_sequence = reply.sequence + 1
             if attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work()
+            self.mhp.notify_work(not_before=sync)
             return
         if reply.sequence < self._expected_sequence:
             if attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work()
+            self.mhp.notify_work(not_before=sync)
             return
         self._expected_sequence = reply.sequence + 1
         self.statistics["successes"] += 1
@@ -537,13 +573,14 @@ class EGP(Protocol):
             self._handle_timeout(item.queue_id)
             if attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work()
+            self.mhp.notify_work(not_before=sync)
             return
 
         if request.request_type is RequestType.KEEP:
-            ok = self._deliver_keep(pair, attempt, item)
+            ok = self._deliver_keep(pair, attempt, item, busy_from=sync)
         else:
-            ok = self._deliver_measure(pair, attempt, item, reply)
+            ok = self._deliver_measure(pair, attempt, item, reply,
+                                       busy_from=sync)
 
         item.pairs_remaining -= 1
         item.pairs_delivered += 1
@@ -561,7 +598,7 @@ class EGP(Protocol):
 
         if item.pairs_remaining <= 0:
             self.dqp.remove(item.queue_id)
-        self.mhp.notify_work(not_before=max(self._busy_until, self.now))
+        self.mhp.notify_work(not_before=max(self._busy_until, sync))
 
     # ------------------------------------------------------------------ #
     # Pair delivery helpers
@@ -587,12 +624,14 @@ class EGP(Protocol):
             pair.corrected = True
 
     def _deliver_keep(self, pair: EntangledPair, attempt: _InFlightAttempt,
-                      item: QueueItem) -> OkMessage:
+                      item: QueueItem,
+                      busy_from: Optional[float] = None) -> OkMessage:
         assert attempt.allocation is not None and attempt.allocation.storage is not None
         duration = self.device.move_to_memory(pair,
                                               attempt.allocation.communication,
                                               attempt.allocation.storage)
-        self._busy_until = max(self._busy_until, self.now + duration)
+        base = self.now if busy_from is None else busy_from
+        self._busy_until = max(self._busy_until, base + duration)
         goodness = self.feu.goodness(attempt.alpha, RequestType.KEEP)
         request = item.request
         ok = OkMessage(
@@ -613,14 +652,16 @@ class EGP(Protocol):
         return ok
 
     def _deliver_measure(self, pair: EntangledPair, attempt: _InFlightAttempt,
-                         item: QueueItem, reply: MHPReply) -> OkMessage:
+                         item: QueueItem, reply: MHPReply,
+                         busy_from: Optional[float] = None) -> OkMessage:
         request = item.request
         basis = request.measure_basis
         if basis is None:
             basis = _MEASURE_BASES[pair.midpoint_sequence % len(_MEASURE_BASES)]
         outcome = self.device.measure_pair(pair, basis)
+        base = self.now if busy_from is None else busy_from
         self._busy_until = max(self._busy_until,
-                               self.now + self.device.readout_duration())
+                               base + self.device.readout_duration())
         fidelity_estimate = self.feu.goodness(attempt.alpha, RequestType.MEASURE)
         goodness = qber_from_fidelity_werner(fidelity_estimate)
         if attempt.allocation is not None:

@@ -24,11 +24,9 @@ from typing import Optional
 import numpy as np
 
 from repro.core.messages import RequestType
-from repro.hardware.heralding import HeraldedStateSampler
 from repro.hardware.parameters import ScenarioConfig
-from repro.quantum import noise
 from repro.quantum.fidelity import fidelity_from_qber
-from repro.quantum.states import BellIndex, bell_state
+from repro.quantum.states import BellIndex
 
 
 @dataclass(frozen=True)
@@ -92,8 +90,12 @@ class FidelityEstimationUnit:
     def __init__(self, scenario: ScenarioConfig,
                  alpha_grid: Optional[np.ndarray] = None,
                  test_window: int = 256,
-                 test_round_fraction: float = 0.0) -> None:
+                 test_round_fraction: float = 0.0,
+                 backend=None) -> None:
+        from repro.backends import get_backend
+
         self.scenario = scenario
+        self.backend = get_backend(backend)
         if alpha_grid is None:
             alpha_grid = np.linspace(0.02, 0.60, 30)
         self.alpha_grid = np.asarray(alpha_grid, dtype=float)
@@ -112,53 +114,12 @@ class FidelityEstimationUnit:
         for request_type in (RequestType.KEEP, RequestType.MEASURE):
             rows = []
             for alpha in self.alpha_grid:
-                sampler = HeraldedStateSampler.for_scenario(self.scenario,
-                                                            float(alpha))
-                heralded = sampler.average_success_fidelity()
-                delivered = self._delivered_fidelity(sampler, request_type)
+                model = self.backend.attempt_model(self.scenario, float(alpha))
+                heralded = model.average_success_fidelity()
+                delivered = model.delivered_fidelity(request_type)
                 rows.append((float(alpha), heralded, delivered,
-                             sampler.success_probability))
+                             model.success_probability))
             self._table[request_type] = rows
-
-    def _delivered_fidelity(self, sampler: HeraldedStateSampler,
-                            request_type: RequestType) -> float:
-        """Average fidelity of a pair as delivered to the higher layer.
-
-        Starts from the heralded electron-electron state and applies the same
-        degradation the device model will apply: electron decay while the
-        REPLY travels back, and (for K requests) the move-to-memory gate noise
-        and decay.
-        """
-        successes = [o for o in sampler.outcomes if o.is_success and o.state]
-        total = sum(o.probability for o in successes)
-        if total <= 0:
-            return 0.0
-        gates = self.scenario.gates
-        timing = self.scenario.timing
-        weighted = 0.0
-        for outcome in successes:
-            state = outcome.state.copy()
-            target = outcome.outcome.bell_index
-            # Electron decay while waiting for the midpoint REPLY.
-            for qubit, delay in ((0, timing.midpoint_delay_a),
-                                 (1, timing.midpoint_delay_b)):
-                if delay > 0:
-                    state.apply_kraus(
-                        noise.t1_t2_kraus(delay, gates.electron_coherence.t1,
-                                          gates.electron_coherence.t2),
-                        qubits=[qubit])
-            if request_type is RequestType.KEEP:
-                # Move-to-memory gate noise (two E-C gates per side); the swap
-                # pulse sequence dynamically decouples the electron, so no
-                # extra free-evolution decay is added here, matching the
-                # device model.
-                swap_kraus = noise.depolarizing_kraus(gates.ec_gate_fidelity)
-                for qubit in (0, 1):
-                    state.apply_kraus(swap_kraus, qubits=[qubit])
-                    state.apply_kraus(swap_kraus, qubits=[qubit])
-            weighted += outcome.probability * state.fidelity_to_pure(
-                bell_state(target))
-        return weighted / total
 
     def estimate_for_fidelity(self, min_fidelity: float,
                               request_type: RequestType) -> Optional[FidelityEstimate]:

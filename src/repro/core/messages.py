@@ -243,6 +243,10 @@ class PollResponse:
     #: Number of consecutive MHP cycles the physical layer may attempt for
     #: this request without polling again (batched operation, Section 5.1).
     max_attempts: int = 1
+    #: MHP cycles between consecutive attempts of the granted batch (1 for
+    #: every-cycle attempts; > 1 for K requests whose attempt spacing spans
+    #: several cycles).
+    attempt_stride: int = 1
 
     @classmethod
     def no_attempt(cls) -> "PollResponse":
@@ -261,6 +265,8 @@ class GenMessage:
     timestamp: float
     #: Number of consecutive attempts covered by this frame (batching).
     batch_size: int = 1
+    #: MHP cycles between consecutive attempts of the batch.
+    cycle_stride: int = 1
 
 
 @dataclass
@@ -278,6 +284,26 @@ class MHPReply:
     pair: Optional[object] = None
     #: Number of attempts consumed by this reply (1 unless batched).
     attempts_used: int = 1
+    #: MHP cycles between the attempts this reply covers (from the GEN).
+    cycle_stride: int = 1
+
+    def sync_close_time(self, timing) -> float:
+        """Deterministic time by which both nodes have seen this REPLY.
+
+        Derived from the REPLY *contents* (attempt cycle, attempts used,
+        stride) plus the known link delays of ``timing``, never from the
+        local arrival time: the two replies of one exchange arrive at
+        different times on asymmetric links, and any scheduling decision
+        based on arrival time would put the nodes' next attempt windows on
+        different MHP cycles — their GEN frames would then miss each other
+        at the midpoint.  Both the node MHP (attempt-window close) and the
+        EGP (post-REPLY scheduling floor) use this one formula so the
+        alignment can never drift between the two layers.
+        """
+        max_delay = max(timing.midpoint_delay_a, timing.midpoint_delay_b)
+        resolved = ((self.attempts_used - 1) * max(1, self.cycle_stride)
+                    * timing.mhp_cycle)
+        return self.cycle * timing.mhp_cycle + resolved + 2 * max_delay
 
     @property
     def success(self) -> bool:

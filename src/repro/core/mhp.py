@@ -11,27 +11,35 @@ Two cooperating pieces:
 ``MidpointHeraldingService``
     Runs at the automated heralding station.  It pairs up GEN frames from the
     two nodes that belong to the same cycle, verifies that their absolute
-    queue ids match, resolves the physical attempt by sampling the
-    heralded-state model, and sends REPLY frames back to both nodes.  On
-    success it assigns the unique midpoint sequence number that the EGP later
-    uses to build entanglement identifiers.
+    queue ids match, resolves the physical attempt through the configured
+    :class:`~repro.backends.base.PhysicsBackend`, and sends REPLY frames back
+    to both nodes.  On success it assigns the unique midpoint sequence number
+    that the EGP later uses to build entanglement identifiers.
+
+A GEN frame may cover a whole *batch* of attempts spaced ``cycle_stride``
+MHP cycles apart (Section 5.1 batched operation, and the analytic backend's
+geometric fast-forward): the midpoint then resolves the run of attempts in
+one step and emits the REPLY at the time of the successful (or last)
+attempt.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.messages import GenMessage, MHPError, MHPReply, PollResponse
-from repro.hardware.heralding import HeraldedStateSampler, HeraldingOutcome
 from repro.hardware.pair import EntangledPair
 from repro.hardware.parameters import ScenarioConfig
 from repro.sim.channel import ClassicalChannel
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import EventHandle, SimulationEngine
 from repro.sim.entity import Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import PhysicsBackend
 
 
 class NodeMHP(Protocol):
@@ -62,6 +70,9 @@ class NodeMHP(Protocol):
         #: End of the attempt window opened by the last GEN frame; no new
         #: attempt may start before it (prevents overlapping attempt streams).
         self._attempt_window_end = 0.0
+        #: GEN cycle of the currently open attempt window; only the REPLY
+        #: belonging to this window may close it early.
+        self._attempt_window_cycle: Optional[int] = None
         self.attempts_triggered = 0
         self.replies_received = 0
 
@@ -77,10 +88,18 @@ class NodeMHP(Protocol):
         if not isinstance(frame, MHPReply):
             raise TypeError(f"unexpected MHP frame {type(frame).__name__}")
         self.replies_received += 1
-        # A REPLY closes the attempt window it belongs to: the midpoint has
-        # already resolved every attempt covered by the corresponding GEN, so
-        # new attempts may start from the next cycle.
-        self._attempt_window_end = min(self._attempt_window_end, self.now)
+        # A REPLY closes the attempt window it belongs to — and only that
+        # window (with multiplexed batching the next window's GEN is usually
+        # already out when the previous REPLY arrives; truncating it would
+        # fork a second, overlapping attempt stream).  The midpoint resolved
+        # every attempt up to the reported one, so new attempts may start
+        # once both nodes have seen the REPLY — the deterministic
+        # content-derived close time (see MHPReply.sync_close_time) keeps
+        # the two nodes' batched attempt streams on the same MHP cycles
+        # despite their asymmetric reply delays.
+        if frame.cycle == self._attempt_window_cycle:
+            close = frame.sync_close_time(self.scenario.timing)
+            self._attempt_window_end = min(self._attempt_window_end, close)
         if self.reply_callback is not None:
             self.reply_callback(frame)
 
@@ -142,11 +161,18 @@ class NodeMHP(Protocol):
         self.attempts_triggered += 1
         cycle = self.current_cycle()
         batch = max(1, int(response.max_attempts))
+        stride = max(1, int(response.attempt_stride))
         frame = GenMessage(origin=self.node_name, queue_id=response.queue_id,
                            cycle=cycle, alpha=response.alpha,
-                           timestamp=self.now, batch_size=batch)
+                           timestamp=self.now, batch_size=batch,
+                           cycle_stride=stride)
         self._channel.send(frame)
-        self._attempt_window_end = self.now + batch * self.cycle_time
+        # The batch's attempts run at cycle, cycle + stride, ...; the window
+        # closes one cycle after the last attempt starts.
+        self._attempt_window_cycle = cycle
+        self._attempt_window_end = (self.now
+                                    + ((batch - 1) * stride + 1)
+                                    * self.cycle_time)
         # Keep polling: the next opportunity is after the granted batch of
         # cycles; the EGP decides whether it actually wants to attempt again
         # (e.g. it will answer "no" while waiting for a K-type REPLY).
@@ -160,6 +186,8 @@ class _PendingGen:
     frame: GenMessage
     received_at: float
     timed_out: bool = False
+    #: Handle of the match-window timeout, cancelled once the peer arrives.
+    timeout: Optional[EventHandle] = None
 
 
 class MidpointHeraldingService(Protocol):
@@ -177,13 +205,20 @@ class MidpointHeraldingService(Protocol):
         How long to wait for the second GEN of a cycle before declaring
         ``NO_MESSAGE_OTHER`` (defaults to two MHP cycles plus the largest
         node-midpoint delay).
+    backend:
+        Physics backend resolving attempt outcomes; a name, an instance, or
+        ``None`` for the environment default (``REPRO_BACKEND``).
     """
 
     def __init__(self, engine: SimulationEngine, scenario: ScenarioConfig,
                  rng: Optional[np.random.Generator] = None,
-                 match_window: Optional[float] = None) -> None:
+                 match_window: Optional[float] = None,
+                 backend: "PhysicsBackend | str | None" = None) -> None:
+        from repro.backends import get_backend
+
         super().__init__(engine, name="Midpoint")
         self.scenario = scenario
+        self.backend = get_backend(backend)
         self.rng = rng if rng is not None else np.random.default_rng()
         timing = scenario.timing
         if match_window is None:
@@ -225,11 +260,12 @@ class MidpointHeraldingService(Protocol):
     def _handle_gen(self, frame: GenMessage) -> None:
         pending = self._pending.get(frame.cycle)
         if pending is None:
-            self._pending[frame.cycle] = _PendingGen(frame=frame,
-                                                     received_at=self.now)
-            self.call_after(self.match_window,
-                            lambda cycle=frame.cycle: self._expire_pending(cycle),
-                            name=f"{self.name}.match_timeout")
+            record = _PendingGen(frame=frame, received_at=self.now)
+            record.timeout = self.call_after(
+                self.match_window,
+                lambda cycle=frame.cycle: self._expire_pending(cycle),
+                name=f"{self.name}.match_timeout")
+            self._pending[frame.cycle] = record
             return
         if pending.frame.origin == frame.origin:
             # Duplicate from the same node (e.g. after retransmission): keep
@@ -238,6 +274,8 @@ class MidpointHeraldingService(Protocol):
             pending.received_at = self.now
             return
         del self._pending[frame.cycle]
+        if pending.timeout is not None:
+            pending.timeout.cancel()
         self._process_pair(pending.frame, frame)
 
     def _expire_pending(self, cycle: int) -> None:
@@ -266,43 +304,26 @@ class MidpointHeraldingService(Protocol):
                 self._send_reply(frame.origin, reply)
             return
 
-        sampler = HeraldedStateSampler.for_scenario(self.scenario,
-                                                    frame_a.alpha)
+        model = self.backend.attempt_model(self.scenario, frame_a.alpha)
         batch = max(1, min(frame_a.batch_size, frame_b.batch_size))
+        stride = max(1, min(frame_a.cycle_stride, frame_b.cycle_stride))
         cycle_time = self.scenario.timing.mhp_cycle
 
-        if batch == 1:
-            outcome = sampler.sample(self.rng)
-            attempts_used = 1
-            success = outcome.is_success and outcome.state is not None
-        else:
-            success_attempt = sampler.sample_attempts_until_success(self.rng,
-                                                                    batch)
-            if success_attempt is None:
-                outcome = None
-                attempts_used = batch
-                success = False
-            else:
-                outcome = sampler.sample_success(self.rng)
-                attempts_used = success_attempt
-                success = outcome.state is not None
+        attempts_used, sample = model.resolve(self.rng, batch)
         self.statistics["attempts"] += attempts_used - 1  # first one counted above
 
-        # The successful (or last) attempt happens attempts_used - 1 cycles
-        # after the first one; replies leave the station at that point.
-        reply_emit_delay = (attempts_used - 1) * cycle_time
+        # The successful (or last) attempt happens attempts_used - 1 attempt
+        # strides after the first one; replies leave the station then.
+        reply_emit_delay = (attempts_used - 1) * stride * cycle_time
 
         pair: Optional[EntangledPair] = None
         outcome_code = 0
-        if success and outcome is not None:
-            if outcome.outcome is HeraldingOutcome.PSI_PLUS:
-                outcome_code = 1
-            elif outcome.outcome is HeraldingOutcome.PSI_MINUS:
-                outcome_code = 2
+        if sample.success:
+            outcome_code = sample.outcome_code
             self._sequence += 1
             self.statistics["successes"] += 1
-            pair = EntangledPair(state=outcome.state.copy(),
-                                 heralded_bell=outcome.outcome.bell_index,
+            pair = EntangledPair(state=sample.state,
+                                 heralded_bell=sample.bell_index,
                                  created_at=self.now + reply_emit_delay,
                                  midpoint_sequence=self._sequence)
         for frame, peer in ((frame_a, frame_b), (frame_b, frame_a)):
@@ -310,7 +331,8 @@ class MidpointHeraldingService(Protocol):
                              queue_id=frame.queue_id,
                              peer_queue_id=peer.queue_id,
                              error=MHPError.NONE, cycle=cycle, pair=pair,
-                             attempts_used=attempts_used)
+                             attempts_used=attempts_used,
+                             cycle_stride=stride)
             self._send_reply(frame.origin, reply, delay=reply_emit_delay)
 
     def _send_reply(self, node_name: str, reply: MHPReply,

@@ -51,7 +51,9 @@ def spin_photon_state(alpha: float,
     qubit and qubit 1 the photon (presence/absence) qubit as it arrives at the
     heralding station.
     """
-    state = DensityMatrix.from_ket(spin_photon_ket(alpha))
+    # Internal hot path: the ket is normalised by construction and every
+    # operation below preserves validity, so skip the eigenvalue check.
+    state = DensityMatrix.from_ket(spin_photon_ket(alpha), validate=False)
 
     # Two-photon emission: modelled as dephasing on the communication qubit
     # (paper D.4.3); the dephasing probability is half the double-emission

@@ -24,8 +24,7 @@ import numpy as np
 
 from repro.hardware.pair import EntangledPair
 from repro.hardware.parameters import CoherenceTimes, NVGateParameters
-from repro.quantum import gates, noise
-from repro.quantum.measurement import readout_kraus
+from repro.quantum import noise
 
 
 class QubitRole(Enum):
@@ -69,15 +68,22 @@ class NVQuantumProcessor:
         Number of carbon memory qubits.
     rng:
         Random generator used for measurements.
+    backend:
+        Physics backend that applies the noise channels and readout to pair
+        states; a name, an instance, or ``None`` for the environment default.
     """
 
     def __init__(self, name: str, gate_parameters: NVGateParameters,
                  num_communication: int = 1, num_memory: int = 1,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 backend=None) -> None:
+        from repro.backends import get_backend
+
         if name.upper() not in ("A", "B"):
             raise ValueError(f"node name must be 'A' or 'B', got {name!r}")
         self.name = name.upper()
         self.gates = gate_parameters
+        self.backend = get_backend(backend)
         self.rng = rng if rng is not None else np.random.default_rng()
         self.slots: list[QubitSlot] = []
         qubit_id = 0
@@ -140,14 +146,13 @@ class NVQuantumProcessor:
         """Apply T1/T2 decay to this node's half of ``pair`` for ``duration``."""
         if duration <= 0:
             return
-        coherence = self._coherence_for(slot)
-        kraus = noise.t1_t2_kraus(duration, coherence.t1, coherence.t2)
-        pair.apply_one_sided_kraus(kraus, self.name)
+        self.backend.apply_t1t2(pair, self.name, self._coherence_for(slot),
+                                duration)
 
     def apply_initialization_noise(self, pair: EntangledPair) -> None:
         """Depolarising noise from imperfect electron initialisation."""
-        kraus = noise.depolarizing_kraus(self.gates.electron_init_fidelity)
-        pair.apply_one_sided_kraus(kraus, self.name)
+        self.backend.apply_depolarizing(pair, self.name,
+                                        self.gates.electron_init_fidelity)
 
     def move_to_memory(self, pair: EntangledPair,
                        communication_slot: QubitSlot,
@@ -164,9 +169,10 @@ class NVQuantumProcessor:
         # implements the swap dynamically decouples the electron (Section
         # D.2.2), so no additional free-evolution T2 decay is applied for the
         # swap duration; the gate fidelity already captures the residual error.
-        gate_kraus = noise.depolarizing_kraus(self.gates.ec_gate_fidelity)
-        pair.apply_one_sided_kraus(gate_kraus, self.name)
-        pair.apply_one_sided_kraus(gate_kraus, self.name)
+        self.backend.apply_depolarizing(pair, self.name,
+                                        self.gates.ec_gate_fidelity)
+        self.backend.apply_depolarizing(pair, self.name,
+                                        self.gates.ec_gate_fidelity)
         communication_slot.pair = None
         communication_slot.in_use = False
         memory_slot.pair = pair
@@ -189,15 +195,12 @@ class NVQuantumProcessor:
         # N attempts shrink coherence by (1 - p)^N; express as one dephasing.
         coherence_factor = (1.0 - 2.0 * per_attempt) ** attempts
         effective = (1.0 - coherence_factor) / 2.0
-        pair.apply_one_sided_kraus(noise.dephasing_kraus(effective), self.name)
+        self.backend.apply_dephasing(pair, self.name, effective)
 
     def apply_correction(self, pair: EntangledPair) -> None:
         """Apply the local Z gate converting |Psi-> into |Psi+> (Eq. 13)."""
-        pair.apply_one_sided_unitary(gates.Z, self.name)
-        if self.gates.electron_gate_fidelity < 1.0:
-            pair.apply_one_sided_kraus(
-                noise.depolarizing_kraus(self.gates.electron_gate_fidelity),
-                self.name)
+        self.backend.apply_correction(pair, self.name,
+                                      self.gates.electron_gate_fidelity)
 
     # ------------------------------------------------------------------ #
     # Measurement
@@ -208,18 +211,10 @@ class NVQuantumProcessor:
         The requested basis is rotated onto Z before the asymmetric readout
         POVM of Eq. (23) is applied.
         """
-        basis = basis.upper()
-        if basis == "X":
-            pair.apply_one_sided_unitary(gates.H, self.name)
-        elif basis == "Y":
-            # Rotate Y eigenstates onto Z: apply H S^dagger.
-            pair.apply_one_sided_unitary(gates.H @ gates.S.conj().T, self.name)
-        elif basis != "Z":
-            raise ValueError(f"unknown basis {basis!r}")
-        m0, m1 = readout_kraus(self.gates.readout_fidelity_0,
-                               self.gates.readout_fidelity_1)
-        qubit = 0 if self.name == "A" else 1
-        return pair.state.measure_povm([m0, m1], qubits=[qubit], rng=self.rng)
+        return self.backend.measure_pair(pair, self.name, basis,
+                                         self.gates.readout_fidelity_0,
+                                         self.gates.readout_fidelity_1,
+                                         self.rng)
 
     # ------------------------------------------------------------------ #
     # Timing helpers

@@ -44,6 +44,10 @@ class LinkLayerNetwork:
         Whether measure-directly attempts may overlap with outstanding REPLYs.
     test_round_fraction:
         Fraction of attempts the FEU turns into test rounds (Appendix B).
+    backend:
+        Physics backend shared by the midpoint, devices, FEUs and EGPs; a
+        name, an instance, or ``None`` for the environment default
+        (``REPRO_BACKEND``, falling back to ``"density"``).
     """
 
     def __init__(self, scenario: ScenarioConfig,
@@ -52,8 +56,12 @@ class LinkLayerNetwork:
                  emission_multiplexing: bool = True,
                  test_round_fraction: float = 0.0,
                  attempt_batch_size: int = 1,
-                 engine: Optional[SimulationEngine] = None) -> None:
+                 engine: Optional[SimulationEngine] = None,
+                 backend=None) -> None:
+        from repro.backends import get_backend
+
         self.scenario = scenario
+        self.backend = get_backend(backend)
         self.engine = engine if engine is not None else SimulationEngine()
         master_rng = np.random.default_rng(seed)
         self._rngs = {name: np.random.default_rng(master_rng.integers(2 ** 63))
@@ -66,7 +74,8 @@ class LinkLayerNetwork:
 
         # --- Midpoint and node MHPs -------------------------------------- #
         self.midpoint = MidpointHeraldingService(self.engine, scenario,
-                                                 rng=self._rngs["midpoint"])
+                                                 rng=self._rngs["midpoint"],
+                                                 backend=self.backend)
         self.nodes: dict[str, LinkLayerNode] = {}
         mhp_channels = {}
         for name, delay in (("A", timing.midpoint_delay_a),
@@ -100,7 +109,8 @@ class LinkLayerNetwork:
                 name, scenario.gates,
                 num_communication=scenario.num_communication_qubits,
                 num_memory=scenario.num_memory_qubits,
-                rng=self._rngs[f"device_{name.lower()}"])
+                rng=self._rngs[f"device_{name.lower()}"],
+                backend=self.backend)
             mhp = NodeMHP(self.engine, name, scenario)
             to_midpoint, from_midpoint = mhp_channels[name]
             mhp.attach_channel(to_midpoint)
@@ -108,11 +118,13 @@ class LinkLayerNetwork:
             dqp = DistributedQueue(self.engine, name, is_master=is_master,
                                    max_queue_size=scenario.max_queue_size)
             feu = FidelityEstimationUnit(scenario,
-                                         test_round_fraction=test_round_fraction)
+                                         test_round_fraction=test_round_fraction,
+                                         backend=self.backend)
             egp = EGP(self.engine, name, peer, scenario, device, mhp, dqp, feu,
                       sched, rng=self._rngs[f"egp_{name.lower()}"],
                       emission_multiplexing=emission_multiplexing,
-                      attempt_batch_size=attempt_batch_size)
+                      attempt_batch_size=attempt_batch_size,
+                      backend=self.backend)
             self.nodes[name] = LinkLayerNode(name=name, device=device, mhp=mhp,
                                              dqp=dqp, feu=feu, egp=egp)
 

@@ -50,9 +50,15 @@ class DensityMatrix:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_ket(cls, ket: np.ndarray) -> "DensityMatrix":
-        """Build a pure-state density matrix from a state vector."""
-        return cls(ket_to_dm(np.asarray(ket, dtype=complex)))
+    def from_ket(cls, ket: np.ndarray, validate: bool = True) -> "DensityMatrix":
+        """Build a pure-state density matrix from a state vector.
+
+        Internal hot paths pass ``validate=False`` when the ket is known to
+        be normalised (the outer product of a normalised vector is always a
+        valid state).
+        """
+        return cls(ket_to_dm(np.asarray(ket, dtype=complex)),
+                   validate=validate)
 
     @classmethod
     def computational_basis(cls, bits: Sequence[int]) -> "DensityMatrix":
@@ -102,6 +108,18 @@ class DensityMatrix:
     def copy(self) -> "DensityMatrix":
         """An independent copy of this state."""
         return DensityMatrix(self._matrix.copy(), validate=False)
+
+    def update_matrix(self, matrix: np.ndarray) -> None:
+        """Replace the underlying matrix without validation.
+
+        For physics backends whose operations preserve validity by
+        construction (Kraus application, measurement collapse); the matrix
+        must have the same dimension.
+        """
+        if matrix.shape != self._matrix.shape:
+            raise ValueError(f"replacement shape {matrix.shape} does not "
+                             f"match state shape {self._matrix.shape}")
+        self._matrix = matrix
 
     def _validate(self, atol: float = 1e-8) -> None:
         if not np.allclose(self._matrix, self._matrix.conj().T, atol=atol):

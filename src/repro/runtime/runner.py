@@ -28,6 +28,8 @@ class RunResult:
     summary: MetricsSummary
     requests_issued: int
     seed: Optional[int] = None
+    #: Resolved name of the physics backend that produced this result.
+    backend: str = "density"
     metrics: Optional[MetricsCollector] = field(default=None, repr=False,
                                                 compare=False)
     network: Optional[LinkLayerNetwork] = field(default=None, repr=False,
@@ -61,6 +63,9 @@ class SimulationRun:
         Master seed; the workload uses ``seed + 1``.
     emission_multiplexing:
         Forwarded to the EGP.
+    backend:
+        Physics backend for the whole run; a name, an instance, or ``None``
+        for the environment default (``REPRO_BACKEND``).
     """
 
     def __init__(self, scenario: ScenarioConfig,
@@ -68,13 +73,15 @@ class SimulationRun:
                  scheduler: str | SchedulingStrategy = "FCFS",
                  seed: Optional[int] = 12345,
                  emission_multiplexing: bool = True,
-                 attempt_batch_size: int = 1) -> None:
+                 attempt_batch_size: int = 1,
+                 backend=None) -> None:
         self.scenario = scenario
         self.seed = seed
         self.network = LinkLayerNetwork(scenario, scheduler=scheduler,
                                         seed=seed,
                                         emission_multiplexing=emission_multiplexing,
-                                        attempt_batch_size=attempt_batch_size)
+                                        attempt_batch_size=attempt_batch_size,
+                                        backend=backend)
         self.metrics = MetricsCollector(self.network)
         workload_seed = None if seed is None else seed + 1
         self.generator = RequestGenerator(self.network, list(workload),
@@ -94,6 +101,7 @@ class SimulationRun:
             summary=self.metrics.summary(),
             requests_issued=self.generator.requests_issued,
             seed=self.seed,
+            backend=self.network.backend.name,
             metrics=self.metrics,
             network=self.network,
         )
@@ -103,9 +111,11 @@ def run_scenario(scenario: ScenarioConfig, workload: Sequence[WorkloadSpec],
                  duration: float, scheduler: str | SchedulingStrategy = "FCFS",
                  seed: Optional[int] = 12345,
                  emission_multiplexing: bool = True,
-                 attempt_batch_size: int = 1) -> RunResult:
+                 attempt_batch_size: int = 1,
+                 backend=None) -> RunResult:
     """Convenience one-shot runner used by benchmarks and examples."""
     run = SimulationRun(scenario, workload, scheduler=scheduler, seed=seed,
                         emission_multiplexing=emission_multiplexing,
-                        attempt_batch_size=attempt_batch_size)
+                        attempt_batch_size=attempt_batch_size,
+                        backend=backend)
     return run.run(duration)

@@ -70,16 +70,29 @@ class ScenarioSpec:
     scheduler: str = "FCFS"
     seed: int = 12345
     attempt_batch_size: int = 1
+    #: Physics backend name; ``None`` resolves through ``REPRO_BACKEND``.
+    #: Kept as a string (not an instance) so specs stay picklable for sweep
+    #: workers and hashable for the sweep cache.
+    backend: Optional[str] = None
+
+    def backend_name(self) -> str:
+        """The concrete backend name this spec resolves to right now."""
+        from repro.backends import resolve_backend_name
+
+        return resolve_backend_name(self.backend)
 
     def run(self, duration: float, seed: Optional[int] = None,
-            attempt_batch_size: Optional[int] = None) -> RunResult:
+            attempt_batch_size: Optional[int] = None,
+            backend: Optional[str] = None) -> RunResult:
         """Build and run the scenario for ``duration`` simulated seconds."""
         batch = (self.attempt_batch_size if attempt_batch_size is None
                  else attempt_batch_size)
         simulation = SimulationRun(self.scenario, self.workload,
                                    scheduler=self.scheduler,
                                    seed=self.seed if seed is None else seed,
-                                   attempt_batch_size=batch)
+                                   attempt_batch_size=batch,
+                                   backend=backend if backend is not None
+                                   else self.backend)
         return simulation.run(duration)
 
 
@@ -99,6 +112,7 @@ def single_kind_scenarios(hardware: str = "Lab",
                           min_fidelity: float = DEFAULT_MIN_FIDELITY,
                           include_md_k255: bool = True,
                           attempt_batch_size: int = 1,
+                          backend: Optional[str] = None,
                           ) -> list[ScenarioSpec]:
     """The single-kind scenario grid of the long runs (Section 6.2).
 
@@ -128,7 +142,8 @@ def single_kind_scenarios(hardware: str = "Lab",
                             f"origin{origin.upper()[0]}")
                     specs.append(ScenarioSpec(
                         name=name, scenario=config, workload=(workload,),
-                        attempt_batch_size=attempt_batch_size))
+                        attempt_batch_size=attempt_batch_size,
+                        backend=backend))
     return specs
 
 
@@ -136,6 +151,7 @@ def mixed_kind_scenarios(hardware: str = "QL2020",
                          patterns: tuple[str, ...] = tuple(USAGE_PATTERNS),
                          schedulers: tuple[str, ...] = ("FCFS", "HigherWFQ"),
                          attempt_batch_size: int = 1,
+                         backend: Optional[str] = None,
                          ) -> list[ScenarioSpec]:
     """Mixed-priority scenarios of Section 6.3 / Appendix C.2."""
     config = _hardware(hardware)
@@ -147,11 +163,13 @@ def mixed_kind_scenarios(hardware: str = "QL2020",
             specs.append(ScenarioSpec(name=name, scenario=config,
                                       workload=pattern.specs,
                                       scheduler=scheduler,
-                                      attempt_batch_size=attempt_batch_size))
+                                      attempt_batch_size=attempt_batch_size,
+                                      backend=backend))
     return specs
 
 
-def table1_scenarios(hardware: str = "QL2020") -> list[ScenarioSpec]:
+def table1_scenarios(hardware: str = "QL2020",
+                     backend: Optional[str] = None) -> list[ScenarioSpec]:
     """The two request patterns of Table 1 (uniform, and no-NL-more-MD).
 
     Pairs per request are fixed: 2 (NL), 2 (CK) and 10 (MD).
@@ -172,7 +190,7 @@ def table1_scenarios(hardware: str = "QL2020") -> list[ScenarioSpec]:
         for scheduler in ("FCFS", "HigherWFQ"):
             specs.append(ScenarioSpec(name=f"table1_{pattern_name}_{scheduler}",
                                       scenario=config, workload=workload,
-                                      scheduler=scheduler))
+                                      scheduler=scheduler, backend=backend))
     return specs
 
 
@@ -183,7 +201,8 @@ ROBUSTNESS_LOSS_PROBABILITIES: tuple[float, ...] = (0.0, 1e-6, 1e-4)
 def robustness_scenarios(hardware: str = "Lab",
                          loss_probabilities: tuple[float, ...] =
                          ROBUSTNESS_LOSS_PROBABILITIES,
-                         attempt_batch_size: int = 1) -> list[ScenarioSpec]:
+                         attempt_batch_size: int = 1,
+                         backend: Optional[str] = None) -> list[ScenarioSpec]:
     """The classical frame-loss robustness scenarios of Section 6.1.
 
     Per-attempt messaging (no batching by default) so that every classical
@@ -199,7 +218,8 @@ def robustness_scenarios(hardware: str = "Lab",
         label = f"{loss:.0e}" if loss else "0"
         specs.append(ScenarioSpec(name=f"{hardware}_robust_loss{label}",
                                   scenario=config, workload=(workload,),
-                                  attempt_batch_size=attempt_batch_size))
+                                  attempt_batch_size=attempt_batch_size,
+                                  backend=backend))
     return specs
 
 
@@ -207,7 +227,8 @@ def paper_grid(hardwares: tuple[str, ...] = ("Lab", "QL2020"),
                include_mixed: bool = True,
                include_table1: bool = True,
                include_robustness: bool = True,
-               attempt_batch_size: int = 1) -> list[ScenarioSpec]:
+               attempt_batch_size: int = 1,
+               backend: Optional[str] = None) -> list[ScenarioSpec]:
     """The full evaluation grid of the paper's long runs — 169 scenarios.
 
     Composition (Section 6):
@@ -226,19 +247,19 @@ def paper_grid(hardwares: tuple[str, ...] = ("Lab", "QL2020"),
     specs: list[ScenarioSpec] = []
     for hardware in hardwares:
         specs.extend(single_kind_scenarios(
-            hardware, attempt_batch_size=attempt_batch_size))
+            hardware, attempt_batch_size=attempt_batch_size, backend=backend))
     if include_mixed:
         for hardware in hardwares:
             specs.extend(mixed_kind_scenarios(
                 hardware, schedulers=("FCFS", "LowerWFQ", "HigherWFQ"),
-                attempt_batch_size=attempt_batch_size))
+                attempt_batch_size=attempt_batch_size, backend=backend))
     if include_table1:
-        table1 = table1_scenarios()
+        table1 = table1_scenarios(backend=backend)
         for spec in table1:
             spec.attempt_batch_size = attempt_batch_size
         specs.extend(table1)
     if include_robustness:
-        specs.extend(robustness_scenarios())
+        specs.extend(robustness_scenarios(backend=backend))
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise RuntimeError("paper grid produced duplicate scenario names")

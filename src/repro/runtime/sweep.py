@@ -44,7 +44,7 @@ from repro.analysis.metrics import MetricsSummary
 from repro.runtime.scenarios import ScenarioSpec
 
 #: Cache-format version; bump when the outcome schema changes.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 def derive_scenario_seeds(master_seed: Optional[int],
@@ -103,6 +103,8 @@ class ScenarioOutcome:
     summary: Optional[MetricsSummary] = None
     requests_issued: int = 0
     error: Optional[str] = None
+    #: Resolved physics backend the scenario ran under.
+    backend: str = "density"
     wall_time: float = field(default=0.0, compare=False)
     from_cache: bool = field(default=False, compare=False)
 
@@ -130,6 +132,7 @@ class ScenarioOutcome:
             summary=None if summary is None else MetricsSummary.from_dict(summary),
             requests_issued=data.get("requests_issued", 0),
             error=data.get("error"),
+            backend=data.get("backend", "density"),
             wall_time=data.get("wall_time", 0.0),
             from_cache=data.get("from_cache", False),
         )
@@ -213,6 +216,7 @@ def _execute_scenario(payload: tuple[int, ScenarioSpec, int, float],
             status="ok",
             summary=result.summary,
             requests_issued=result.requests_issued,
+            backend=result.backend,
             wall_time=time.perf_counter() - started,
         )
     except Exception:
@@ -223,6 +227,7 @@ def _execute_scenario(payload: tuple[int, ScenarioSpec, int, float],
             duration=duration,
             status="error",
             error=traceback.format_exc(),
+            backend=spec.backend_name(),
             wall_time=time.perf_counter() - started,
         )
     return index, outcome
@@ -322,6 +327,9 @@ class SweepRunner:
             "seed": seed,
             "duration": duration,
             "batch": spec.attempt_batch_size,
+            # Resolved backend name: results from different physics backends
+            # must never satisfy each other's cache lookups.
+            "backend": spec.backend_name(),
             "workload": workload,
         }
         digest = hashlib.sha256(

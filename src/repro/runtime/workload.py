@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.analysis.metrics import MetricsCollector
 from repro.core.messages import EntanglementRequest, Priority, RequestType
-from repro.hardware.heralding import HeraldedStateSampler
 from repro.network.network import LinkLayerNetwork
 from repro.sim.entity import Entity
 
@@ -127,8 +126,8 @@ class RequestGenerator(Entity):
             if estimate is not None:
                 p_succ = estimate.success_probability
             else:
-                sampler = HeraldedStateSampler.for_scenario(scenario, 0.3)
-                p_succ = sampler.success_probability
+                model = self.network.backend.attempt_model(scenario, 0.3)
+                p_succ = model.success_probability
             expected_cycles = timing.expected_cycles(
                 spec.request_type is RequestType.MEASURE)
             if spec.num_pairs is not None:

@@ -34,6 +34,10 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: True once the event has left the queue (executed, skipped or
+    #: discarded); cancelling it afterwards must not touch the queue
+    #: accounting.
+    popped: bool = field(default=False, compare=False)
 
 
 class EventHandle:
@@ -42,8 +46,10 @@ class EventHandle:
     Allows the caller to cancel the event before it fires.
     """
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event,
+                 engine: Optional["SimulationEngine"] = None) -> None:
         self._event = event
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -56,8 +62,16 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        """Cancel the event.  A cancelled event is skipped by the engine."""
+        """Cancel the event.  A cancelled event is skipped by the engine.
+
+        Cancelling an event that already fired (or was discarded) is a
+        harmless no-op for the queue accounting.
+        """
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        if self._engine is not None and not self._event.popped:
+            self._engine._note_cancelled()
 
 
 class SimulationEngine:
@@ -78,12 +92,17 @@ class SimulationEngine:
     [1.0]
     """
 
+    #: Minimum number of cancelled events in the heap before a compaction is
+    #: even considered (avoids churn on tiny queues).
+    COMPACTION_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[Event] = []
         self._counter = itertools.count()
         self._running = False
         self._processed = 0
+        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> float:
@@ -92,8 +111,8 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still in the queue."""
+        return len(self._queue) - self._cancelled_in_queue
 
     @property
     def processed_events(self) -> int:
@@ -109,7 +128,7 @@ class SimulationEngine:
         event = Event(time=float(time), sequence=next(self._counter),
                       callback=callback, name=name)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, engine=self)
 
     def schedule_after(self, delay: float, callback: Callable[[], None],
                        name: str = "") -> EventHandle:
@@ -132,7 +151,9 @@ class SimulationEngine:
         """
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self._now = event.time
             event.callback()
@@ -184,12 +205,47 @@ class SimulationEngine:
     def _peek(self) -> Optional[Event]:
         """Return the next non-cancelled event without removing it."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heapq.heappop(self._queue).popped = True
+            self._cancelled_in_queue -= 1
         return self._queue[0] if self._queue else None
+
+    def _note_cancelled(self) -> None:
+        """Record a cancellation and lazily compact the heap.
+
+        Cancelled events stay in the heap until popped, so protocols that
+        cancel many timers (reply watchdogs, match timeouts) would otherwise
+        grow the queue without bound on long runs.  Once cancelled events
+        outnumber live ones the heap is rebuilt without them; amortised the
+        compaction is O(1) per cancellation.
+        """
+        self._cancelled_in_queue += 1
+        if (self._cancelled_in_queue >= self.COMPACTION_MIN_CANCELLED
+                and 2 * self._cancelled_in_queue > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and restore the heap invariant.
+
+        Event ordering is total — ``(time, sequence)`` with a unique
+        sequence — so rebuilding the heap cannot change the order in which
+        the remaining events fire.
+        """
+        live = []
+        for event in self._queue:
+            if event.cancelled:
+                event.popped = True
+            else:
+                live.append(event)
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
 
     def reset(self, start_time: float = 0.0) -> None:
         """Clear the queue and reset the clock.  Mostly useful in tests."""
+        for event in self._queue:
+            event.popped = True
         self._queue.clear()
         self._now = float(start_time)
         self._counter = itertools.count()
         self._processed = 0
+        self._cancelled_in_queue = 0

@@ -149,3 +149,98 @@ class TestCancellation:
         engine = SimulationEngine()
         handle = engine.schedule_at(4.0, lambda: None)
         assert handle.time == 4.0
+
+
+class TestLazyCompaction:
+    """Cancelled events must not accumulate in the heap or inflate counts."""
+
+    def test_pending_events_counts_live_only(self):
+        engine = SimulationEngine()
+        handles = [engine.schedule_at(float(i), lambda: None)
+                   for i in range(10)]
+        assert engine.pending_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert engine.pending_events == 6
+
+    def test_double_cancel_counts_once(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        handle = engine.schedule_at(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending_events == 1
+
+    def test_compaction_shrinks_heap(self):
+        engine = SimulationEngine()
+        keep = [engine.schedule_at(1000.0 + i, lambda: None)
+                for i in range(10)]
+        doomed = [engine.schedule_at(float(i), lambda: None)
+                  for i in range(200)]
+        assert len(engine._queue) == 210
+        for handle in doomed:
+            handle.cancel()
+        # Cancelled events outnumber live ones: the heap was compacted down
+        # to the live events plus at most the compaction trigger threshold.
+        assert len(engine._queue) <= \
+            10 + SimulationEngine.COMPACTION_MIN_CANCELLED
+        assert engine.pending_events == 10
+        assert all(not handle.cancelled for handle in keep)
+
+    def test_compaction_preserves_firing_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for i in range(300):
+            engine.schedule_at(float(i), lambda i=i: fired.append(i))
+        doomed = [engine.schedule_at(0.5, lambda: fired.append("doomed"))
+                  for _ in range(400)]
+        for handle in doomed:
+            handle.cancel()
+        engine.run()
+        assert fired == list(range(300))
+
+    def test_popping_cancelled_events_updates_counter(self):
+        engine = SimulationEngine()
+        handles = [engine.schedule_at(float(i), lambda: None)
+                   for i in range(30)]
+        for handle in handles[:20]:
+            handle.cancel()
+        engine.run()
+        assert engine.pending_events == 0
+        assert engine.processed_events == 10
+
+    def test_long_run_with_many_cancellations_stays_bounded(self):
+        engine = SimulationEngine()
+        fired = 0
+
+        def tick(step=[0]):
+            nonlocal fired
+            fired += 1
+            step[0] += 1
+            if step[0] < 2000:
+                # Schedule a watchdog and immediately cancel it, as the
+                # protocols do for reply timeouts that are answered in time.
+                engine.schedule_at(engine.now + 10.0, lambda: None).cancel()
+                engine.schedule_at(engine.now + 0.001, tick)
+
+        engine.schedule_at(0.0, tick)
+        engine.run()
+        assert fired == 2000
+        assert len(engine._queue) <= SimulationEngine.COMPACTION_MIN_CANCELLED * 2
+
+    def test_cancel_after_fire_is_a_noop_for_accounting(self):
+        engine = SimulationEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        live = engine.schedule_at(2.0, lambda: None)
+        engine.run(until=1.5)
+        handle.cancel()
+        assert engine.pending_events == 1
+        live.cancel()
+        assert engine.pending_events == 0
+
+    def test_cancel_after_reset_is_a_noop_for_accounting(self):
+        engine = SimulationEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        engine.reset()
+        handle.cancel()
+        assert engine.pending_events == 0
