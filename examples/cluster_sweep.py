@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Run a scenario grid as a sharded cluster sweep with work stealing.
+
+The coordinator partitions the grid into shards with a cost model (calibrated
+from a prior sweep result when ``--calibrate-from`` is given), writes the
+plan into ``--cluster-dir``, and runs local worker processes through the
+same filesystem protocol real multi-machine deployments use.  Results stream
+through per-worker sinks (JSONL by default; try ``--sink columnar`` for the
+per-field layout) and merge into a canonical sweep result that is
+field-for-field identical to a serial ``SweepRunner`` run:
+
+    python examples/cluster_sweep.py                        # quick sub-grid
+    python examples/cluster_sweep.py --shards 4 --workers 4 --sink columnar
+    python examples/cluster_sweep.py --paper-grid --backend analytic \
+        --duration 30 --shards 8 --out grid.json
+
+Multi-machine quickstart: run this once with ``--plan-only`` against a
+shared directory, then start one worker per machine with
+
+    python -m repro.cluster.worker --cluster-dir /shared/dir
+
+and finally re-invoke with ``--merge-only`` to collect the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterCoordinator, RecordedCostModel
+from repro.runtime import SweepResult, paper_grid, single_kind_scenarios
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hardware", default="Lab",
+                        choices=("Lab", "QL2020"),
+                        help="hardware scenario for the sub-grid")
+    parser.add_argument("--duration", type=float, default=0.4,
+                        help="simulated seconds per scenario")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="number of shards to plan")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="local worker processes (default: one per shard)")
+    parser.add_argument("--seed", type=int, default=12345,
+                        help="master seed (per-scenario seeds are derived)")
+    parser.add_argument("--cluster-dir", default=".sweep_cluster",
+                        help="shared directory for plan/leases/results")
+    parser.add_argument("--sink", default="jsonl",
+                        choices=("json", "jsonl", "columnar"),
+                        help="result sink format workers write through")
+    parser.add_argument("--cache-dir", default="",
+                        help="shared resume-cache directory ('' disables)")
+    parser.add_argument("--calibrate-from", default="",
+                        help="prior sweep-result JSON to calibrate the "
+                             "cost model from")
+    parser.add_argument("--paper-grid", action="store_true",
+                        help="run the full 169-scenario paper grid")
+    parser.add_argument("--batch", type=int, default=50,
+                        help="MHP attempt batch size (larger = faster)")
+    parser.add_argument("--backend", default=None,
+                        help="physics backend: density (exact, default), "
+                             "analytic (closed-form fast path) or "
+                             "analytic-exact; falls back to $REPRO_BACKEND")
+    parser.add_argument("--reset", action="store_true",
+                        help="discard state a previous (different) sweep "
+                             "left in --cluster-dir")
+    parser.add_argument("--plan-only", action="store_true",
+                        help="write plan.json and exit (workers run "
+                             "elsewhere via python -m repro.cluster.worker)")
+    parser.add_argument("--merge-only", action="store_true",
+                        help="skip execution and merge existing parts")
+    parser.add_argument("--out", default="",
+                        help="write the merged sweep result JSON here")
+    return parser
+
+
+def main() -> None:
+    args = build_parser().parse_args()
+    if args.paper_grid:
+        specs = paper_grid(attempt_batch_size=args.batch,
+                           backend=args.backend)
+    else:
+        specs = single_kind_scenarios(
+            args.hardware, kinds=("NL", "CK", "MD"), loads=("Low", "High"),
+            max_pairs_options=(1,), origins=("A", "B"),
+            include_md_k255=False, attempt_batch_size=args.batch,
+            backend=args.backend)
+
+    cost_model = None
+    if args.calibrate_from:
+        prior = SweepResult.load(args.calibrate_from)
+        cost_model = RecordedCostModel.from_results([prior])
+        print(f"cost model calibrated from {args.calibrate_from}: "
+              f"{cost_model.observations()} observation(s)")
+
+    coordinator = ClusterCoordinator(
+        specs, args.duration, args.cluster_dir, master_seed=args.seed,
+        num_shards=args.shards, sink=args.sink, cost_model=cost_model,
+        cache_dir=args.cache_dir or None)
+    plan = coordinator.plan()
+    print(f"Planned {len(specs)} scenarios x {args.duration:.2f} simulated "
+          f"seconds into {plan.num_shards} shard(s), backend "
+          f"{specs[0].backend_name()}, sink {args.sink}")
+    for shard_id, (shard, cost) in enumerate(zip(plan.shards,
+                                                 plan.shard_costs)):
+        print(f"  shard {shard_id}: {len(shard):>3} scenario(s), "
+              f"estimated cost {cost:8.2f}")
+
+    if args.plan_only:
+        path = coordinator.write_plan(reset=args.reset)
+        print(f"plan written to {path}; start workers with:\n"
+              f"  python -m repro.cluster.worker --cluster-dir "
+              f"{args.cluster_dir}")
+        return
+
+    started = time.perf_counter()
+    if args.merge_only:
+        result = coordinator.merge()
+    else:
+        result = coordinator.run_local(workers=args.workers,
+                                       reset=args.reset)
+    wall = time.perf_counter() - started
+
+    print(f"\n{'scenario':<40}{'status':<8}{'pairs':>6}{'T (1/s)':>9}")
+    for outcome in result.outcomes[:20]:
+        if not outcome.ok:
+            print(f"{outcome.scenario_name:<40}{'error':<8}")
+            continue
+        pairs = sum(outcome.summary.pairs_delivered.values())
+        print(f"{outcome.scenario_name:<40}{'ok':<8}{pairs:>6}"
+              f"{outcome.summary.throughput_total():>9.2f}")
+    if len(result.outcomes) > 20:
+        print(f"... ({len(result.outcomes) - 20} more)")
+
+    status = coordinator.status()
+    print(f"\n{len(result.completed)} ok / {len(result.failed)} failed "
+          f"across {status['scenarios']} scenarios in {wall:.1f}s wall time")
+    if args.out:
+        result.save(args.out)
+        print(f"merged sweep result written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -101,6 +101,11 @@ def main() -> None:
     cached = sum(outcome.from_cache for outcome in result.outcomes)
     print(f"\n{len(result.completed)} ok / {len(result.failed)} failed / "
           f"{cached} from cache in {wall:.1f}s wall time")
+    if args.cache_dir:
+        # Distinguishes plain misses from entries that exist but were
+        # skipped (different CACHE_VERSION, different backend, corrupt),
+        # with the reason per scenario.
+        print(runner.cache_report().describe())
     if args.out:
         result.save(args.out)
         print(f"sweep result written to {args.out}")

@@ -1,0 +1,78 @@
+"""Distributed sweep execution: sharding, work stealing, streaming sinks.
+
+The package turns :class:`~repro.runtime.sweep.SweepRunner`'s single-machine
+sweep into a cluster subsystem while keeping its defining property intact:
+the merged result of any sharded run is field-for-field identical to a
+serial sweep, because per-scenario seeds depend only on the master seed and
+the scenario's global grid index — never on which worker ran it, in what
+order, or how many times.
+
+Pieces (see each module's docstring for the protocol details):
+
+* :mod:`repro.cluster.planner` — deterministic LPT shard planning over a
+  pluggable :class:`CostModel` (static heuristic, or calibrated from
+  recorded per-scenario wall-clock).
+* :mod:`repro.cluster.coordinator` — the shared-directory protocol: plan
+  file, lease files with heartbeats, done markers, merge.
+* :mod:`repro.cluster.worker` — the claim / steal / reclaim execution loop
+  (also a CLI: ``python -m repro.cluster.worker``).
+* :mod:`repro.cluster.sinks` — streaming result sinks (JSON, crash-safe
+  JSONL, dependency-free columnar) that merge back into one canonical
+  :class:`~repro.runtime.sweep.SweepResult`.
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator, ClusterPlan
+from repro.cluster.planner import (
+    CostModel,
+    RecordedCostModel,
+    ShardPlan,
+    StaticCostModel,
+    plan_shards,
+)
+from repro.cluster.sinks import (
+    ColumnarResultSink,
+    JsonResultSink,
+    JsonlResultSink,
+    ResultSink,
+    SINK_KINDS,
+    load_results,
+    merge_results,
+    open_sink,
+)
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterPlan",
+    "ClusterWorker",
+    "ColumnarResultSink",
+    "CostModel",
+    "JsonResultSink",
+    "JsonlResultSink",
+    "RecordedCostModel",
+    "ResultSink",
+    "SINK_KINDS",
+    "ShardPlan",
+    "StaticCostModel",
+    "load_results",
+    "merge_results",
+    "open_sink",
+    "plan_shards",
+    "run_sharded_sweep",
+]
+
+
+def run_sharded_sweep(specs, duration, cluster_dir, master_seed=12345,
+                      num_shards=3, workers=None, **coordinator_kwargs):
+    """One-shot sharded sweep on the local machine.
+
+    Plans ``specs`` into ``num_shards`` shards, runs ``workers`` local
+    worker processes (default: one per shard) through the full cluster
+    protocol, and returns the merged canonical
+    :class:`~repro.runtime.sweep.SweepResult`.
+    """
+    coordinator = ClusterCoordinator(specs, duration, cluster_dir,
+                                     master_seed=master_seed,
+                                     num_shards=num_shards,
+                                     **coordinator_kwargs)
+    return coordinator.run_local(workers=workers)

@@ -1,0 +1,360 @@
+"""Coordinator side of the filesystem cluster protocol.
+
+The protocol needs nothing but a directory every participant can reach (a
+shared filesystem across machines, or a local path for multi-process runs):
+
+``plan.json``
+    Written once by the coordinator: the serialised scenario list, derived
+    per-scenario seeds, the deterministic :class:`ShardPlan`, sink kind,
+    lease timeout and optional resume-cache directory.  Workers are stateless
+    — everything they need to execute any scenario is in the plan.
+
+``tasks/<index>.lease``
+    Claim + heartbeat for one scenario.  Created atomically
+    (``O_CREAT | O_EXCL``) by the claiming worker; its mtime is refreshed by
+    a heartbeat thread while the scenario runs.  A lease whose heartbeat is
+    older than the lease timeout belongs to a dead worker and may be taken
+    over (atomic rename), so a crash mid-scenario delays that scenario by at
+    most one timeout.
+
+``tasks/<index>.done``
+    Completion marker, written (atomically, tmp + rename) only *after* the
+    outcome is durable in the worker's sink part.
+
+``results/part-<worker>.*``
+    One sink part per worker (see :mod:`repro.cluster.sinks`).
+
+Correctness under reordering: per-scenario seeds depend only on
+``(master_seed, global index)`` — the same ``SeedSequence.spawn`` derivation
+the serial sweep uses — and execution is deterministic given (spec, seed,
+backend), so the merged result is field-for-field identical to a serial
+``SweepRunner`` run no matter how many shards, which worker ran what, how
+work was stolen, or how many times a crashed scenario was re-executed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.cluster.planner import CostModel, ShardPlan, plan_shards
+from repro.cluster.sinks import SINK_KINDS, merge_results
+from repro.runtime.cache import CACHE_VERSION, atomic_write_text
+from repro.runtime.scenarios import ScenarioSpec
+from repro.runtime.sweep import (
+    SweepResult,
+    _fresh_master_seed,
+    derive_scenario_seeds,
+)
+
+PLAN_NAME = "plan.json"
+TASKS_DIR = "tasks"
+RESULTS_DIR = "results"
+WORKERS_DIR = "workers"
+
+
+def lease_path(cluster_dir: Path, index: int) -> Path:
+    """Lease file for global scenario ``index``."""
+    return cluster_dir / TASKS_DIR / f"{index}.lease"
+
+
+def done_path(cluster_dir: Path, index: int) -> Path:
+    """Done marker for global scenario ``index``."""
+    return cluster_dir / TASKS_DIR / f"{index}.done"
+
+
+def atomic_write_json(path: Path, payload: dict, indent: Optional[int] = None,
+                      ) -> None:
+    """Write JSON via the shared atomic tmp-and-rename idiom."""
+    atomic_write_text(path, json.dumps(payload, indent=indent))
+
+
+@dataclass
+class ClusterPlan:
+    """The parsed contents of a ``plan.json``."""
+
+    master_seed: int
+    duration: float
+    sink: str
+    lease_timeout: float
+    cache_dir: Optional[str]
+    seeds: list[int]
+    specs: list[ScenarioSpec]
+    shard_plan: ShardPlan
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable plan document."""
+        return {
+            "format": "cluster-plan/v1",
+            "cache_version": CACHE_VERSION,
+            "master_seed": self.master_seed,
+            "duration": self.duration,
+            "sink": self.sink,
+            "lease_timeout": self.lease_timeout,
+            "cache_dir": self.cache_dir,
+            "seeds": list(self.seeds),
+            "specs": [spec.to_dict() for spec in self.specs],
+            "shard_plan": self.shard_plan.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterPlan":
+        """Parse a plan document."""
+        if data.get("format") != "cluster-plan/v1":
+            raise ValueError(f"not a cluster plan: format "
+                             f"{data.get('format')!r}")
+        return cls(
+            master_seed=data["master_seed"],
+            duration=data["duration"],
+            sink=data["sink"],
+            lease_timeout=data["lease_timeout"],
+            cache_dir=data.get("cache_dir"),
+            seeds=list(data["seeds"]),
+            specs=[ScenarioSpec.from_dict(entry) for entry in data["specs"]],
+            shard_plan=ShardPlan.from_dict(data["shard_plan"]),
+        )
+
+    @classmethod
+    def load(cls, cluster_dir: str | Path) -> "ClusterPlan":
+        """Read and parse ``plan.json`` from a cluster directory."""
+        return cls.from_dict(
+            json.loads((Path(cluster_dir) / PLAN_NAME).read_text()))
+
+
+class ClusterCoordinator:
+    """Plans a sharded sweep, tracks progress and merges the result.
+
+    Parameters
+    ----------
+    specs:
+        Scenario list; names must be unique (same contract as
+        :class:`~repro.runtime.sweep.SweepRunner`).
+    duration:
+        Simulated seconds per scenario.
+    cluster_dir:
+        Shared directory for the plan, leases and sink parts.
+    master_seed:
+        Root of the per-scenario seed derivation; ``None`` draws fresh OS
+        entropy once and records it in the plan.
+    num_shards:
+        Shard count — usually the number of machines/workers.
+    cost_model:
+        Scenario cost model for the planner (default: static heuristic;
+        pass a calibrated :class:`RecordedCostModel` when prior sweep
+        results exist).
+    sink:
+        Result-sink kind workers write through: ``jsonl`` (default),
+        ``json`` or ``columnar``.
+    lease_timeout:
+        Seconds without a heartbeat before a claimed scenario is considered
+        abandoned and may be stolen.  Must comfortably exceed the heartbeat
+        interval (it does by construction: workers heartbeat at a third of
+        this) — it does *not* need to exceed scenario runtime.
+    cache_dir:
+        Optional shared resume-cache directory (see
+        :class:`~repro.runtime.cache.ResumeCache`).
+    """
+
+    def __init__(self, specs: Sequence[ScenarioSpec], duration: float,
+                 cluster_dir: str | Path,
+                 master_seed: Optional[int] = 12345,
+                 num_shards: int = 3,
+                 cost_model: Optional[CostModel] = None,
+                 sink: str = "jsonl",
+                 lease_timeout: float = 60.0,
+                 cache_dir: Optional[str | Path] = None) -> None:
+        self.specs = list(specs)
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        names = [spec.name for spec in self.specs]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate scenario names: {sorted(duplicates)}")
+        if sink not in SINK_KINDS:
+            raise ValueError(f"unknown sink kind {sink!r}; "
+                             f"expected one of {sorted(SINK_KINDS)}")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self.duration = duration
+        self.cluster_dir = Path(cluster_dir)
+        self.master_seed = (master_seed if master_seed is not None
+                            else _fresh_master_seed())
+        self.num_shards = max(1, int(num_shards))
+        self.cost_model = cost_model
+        self.sink = sink
+        self.lease_timeout = lease_timeout
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self._shard_plan: Optional[ShardPlan] = None
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(self) -> ShardPlan:
+        """The deterministic shard plan (computed once, then cached)."""
+        if self._shard_plan is None:
+            self._shard_plan = plan_shards(self.specs, self.num_shards,
+                                           self.duration,
+                                           cost_model=self.cost_model)
+        return self._shard_plan
+
+    def cluster_plan(self) -> ClusterPlan:
+        """The full plan document workers execute from."""
+        return ClusterPlan(
+            master_seed=self.master_seed,
+            duration=self.duration,
+            sink=self.sink,
+            lease_timeout=self.lease_timeout,
+            cache_dir=self.cache_dir,
+            seeds=derive_scenario_seeds(self.master_seed, len(self.specs)),
+            specs=self.specs,
+            shard_plan=self.plan(),
+        )
+
+    def write_plan(self, reset: bool = False) -> Path:
+        """Write ``plan.json`` and create the protocol directories.
+
+        Idempotent for the *same* sweep: re-planning an identical grid into
+        the directory resumes it (existing done markers and sink parts stay
+        valid because execution is deterministic).  If the directory holds a
+        **different** plan — other scenarios, duration, seed, sink, ... —
+        its leases, done markers and parts describe the *old* sweep, and
+        silently reusing them would hand back the old results; that is
+        refused unless ``reset=True``, which wipes the protocol state
+        first.  Note an unseeded coordinator (``master_seed=None``) draws
+        fresh entropy per instance, so it never matches a prior plan.
+        """
+        path = self.cluster_dir / PLAN_NAME
+        document = self.cluster_plan().to_dict()
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                existing = None
+            if existing != document:
+                if not reset:
+                    raise RuntimeError(
+                        f"{self.cluster_dir} already holds state for a "
+                        f"different sweep plan; pass reset=True (or use a "
+                        f"fresh directory) to discard it")
+                self.reset_state()
+        for sub in (TASKS_DIR, RESULTS_DIR, WORKERS_DIR):
+            (self.cluster_dir / sub).mkdir(parents=True, exist_ok=True)
+        atomic_write_json(path, document, indent=2)
+        return path
+
+    def reset_state(self) -> None:
+        """Discard all protocol state (plan, leases, done markers, parts)."""
+        import shutil
+
+        for sub in (TASKS_DIR, RESULTS_DIR, WORKERS_DIR):
+            shutil.rmtree(self.cluster_dir / sub, ignore_errors=True)
+        (self.cluster_dir / PLAN_NAME).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Progress
+    # ------------------------------------------------------------------ #
+    def status(self) -> dict:
+        """Done / leased / pending counts, per shard and overall."""
+        plan = self.plan()
+        now = time.time()
+        per_shard = []
+        totals = {"done": 0, "leased": 0, "stale": 0, "pending": 0}
+        for shard in plan.shards:
+            counts = {"done": 0, "leased": 0, "stale": 0, "pending": 0}
+            for index in shard:
+                if done_path(self.cluster_dir, index).exists():
+                    counts["done"] += 1
+                    continue
+                lease = lease_path(self.cluster_dir, index)
+                try:
+                    age = now - lease.stat().st_mtime
+                except OSError:
+                    counts["pending"] += 1
+                    continue
+                counts["stale" if age >= self.lease_timeout else "leased"] += 1
+            per_shard.append(counts)
+            for key, value in counts.items():
+                totals[key] += value
+        return {"shards": per_shard, "total": totals,
+                "scenarios": len(self.specs)}
+
+    def is_complete(self) -> bool:
+        """Whether every scenario has a done marker."""
+        return all(done_path(self.cluster_dir, index).exists()
+                   for index in range(len(self.specs)))
+
+    # ------------------------------------------------------------------ #
+    # Merge
+    # ------------------------------------------------------------------ #
+    def result_parts(self) -> list[Path]:
+        """All sink parts workers have produced so far."""
+        results = self.cluster_dir / RESULTS_DIR
+        if not results.exists():
+            return []
+        return sorted(path for path in results.iterdir()
+                      if path.name.startswith("part-")
+                      and not path.name.endswith(".tmp"))
+
+    def merge(self, require_complete: bool = True) -> SweepResult:
+        """Merge all sink parts into the canonical :class:`SweepResult`.
+
+        With ``require_complete`` (default) the merge fails loudly if any
+        scenario index is missing; pass ``False`` to collect a partial
+        result from a still-running or abandoned grid.
+        """
+        return merge_results(
+            self.result_parts(),
+            expected_count=len(self.specs) if require_complete else None,
+            master_seed=self.master_seed,
+            duration=self.duration,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Local execution convenience
+    # ------------------------------------------------------------------ #
+    def run_local(self, workers: Optional[int] = None,
+                  start_method: Optional[str] = None,
+                  reset: bool = False) -> SweepResult:
+        """Run the whole grid with local worker *processes* and merge.
+
+        One worker per shard by default.  Real multi-machine deployments
+        run ``python -m repro.cluster.worker`` against the shared directory
+        instead; this helper exists so examples, tests and CI exercise the
+        identical protocol on one box.
+        """
+        import multiprocessing
+
+        self.write_plan(reset=reset)
+        if workers is None:
+            workers = self.num_shards
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        context = multiprocessing.get_context(start_method)
+        processes = []
+        for worker_index in range(max(1, workers)):
+            shard = worker_index % self.num_shards
+            process = context.Process(
+                target=_run_worker_process,
+                args=(str(self.cluster_dir), f"local-{worker_index}", shard),
+            )
+            process.start()
+            processes.append(process)
+        for process in processes:
+            process.join()
+        failed = [p.exitcode for p in processes if p.exitcode != 0]
+        if failed:
+            raise RuntimeError(f"{len(failed)} local worker process(es) "
+                               f"exited with codes {failed}")
+        return self.merge()
+
+
+def _run_worker_process(cluster_dir: str, worker_id: str, shard: int) -> None:
+    """Module-level worker entry point (picklable for spawn contexts)."""
+    from repro.cluster.worker import ClusterWorker
+
+    ClusterWorker(cluster_dir, worker_id, shard=shard).run()

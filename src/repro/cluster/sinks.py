@@ -1,0 +1,402 @@
+"""Streaming result sinks for sharded sweeps.
+
+A :class:`ResultSink` receives ``(global scenario index, ScenarioOutcome)``
+pairs as workers finish scenarios and persists them durably — ``write``
+returning means the outcome survives a worker crash.  Three formats:
+
+``json``
+    One JSON document per part.  :func:`load_results` also ingests the
+    *existing* canonical ``SweepResult.save`` format (outcomes in scenario
+    order, indices implied by position), so plain serial sweep files merge
+    with cluster parts.
+
+``jsonl``
+    Append-only JSON Lines — one header line, then one outcome per line,
+    flushed and fsynced per write.  A crash mid-write loses at most the
+    partial trailing line, which the loader detects and drops.
+
+``columnar``
+    A directory of per-field JSON arrays plus a manifest — dependency-free
+    columnar storage for large grids: reading one metric across thousands
+    of scenarios touches one small file instead of parsing every outcome.
+    The ``summary`` is exploded into one column per metric field.
+
+All three merge — in any mixture — into a canonical
+:class:`~repro.runtime.sweep.SweepResult` via :func:`merge_results`, ordered
+by global index and therefore *field-for-field identical* to a serial
+``SweepRunner`` run regardless of shard count, stealing order or
+crash-and-resume history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.analysis.metrics import MetricsSummary
+from repro.runtime.cache import CACHE_VERSION, atomic_write_text
+from repro.runtime.sweep import ScenarioOutcome, SweepResult
+
+#: Columns an outcome is split into in the columnar format, in order.
+_OUTCOME_FIELDS = [f.name for f in dataclasses.fields(ScenarioOutcome)
+                   if f.name != "summary"]
+_SUMMARY_FIELDS = [f.name for f in dataclasses.fields(MetricsSummary)]
+
+
+class SinkError(ValueError):
+    """A sink part could not be loaded or merged."""
+
+
+class ResultSink(ABC):
+    """Write-side interface workers stream outcomes through.
+
+    Implementations must make :meth:`write` durable before returning — the
+    coordinator's done-markers are written after the sink write, and a done
+    marker with no recoverable sink record would lose a scenario.
+    """
+
+    #: Format name used in plan files and CLIs.
+    kind: str = "base"
+
+    def __init__(self, path: str | Path, master_seed: Optional[int] = None,
+                 duration: float = 0.0) -> None:
+        self.path = Path(path)
+        self.master_seed = master_seed
+        self.duration = duration
+
+    @abstractmethod
+    def write(self, index: int, outcome: ScenarioOutcome) -> None:
+        """Durably record ``outcome`` for global scenario ``index``."""
+
+    def close(self) -> None:
+        """Flush any remaining state (writes are already durable)."""
+
+
+class JsonResultSink(ResultSink):
+    """One JSON document per part, rewritten atomically on every write.
+
+    Matches the sweep engine's existing JSON idiom; the per-write rewrite
+    makes it O(n^2) over a part's lifetime — fine for coarse grids, use
+    ``jsonl`` for long ones.
+    """
+
+    kind = "json"
+
+    def __init__(self, path: str | Path, master_seed: Optional[int] = None,
+                 duration: float = 0.0) -> None:
+        super().__init__(path, master_seed, duration)
+        self._entries: dict[int, ScenarioOutcome] = {}
+        if self.path.exists():  # resume an interrupted part
+            for index, outcome in _load_json_entries(self.path):
+                self._entries[index] = outcome
+
+    def write(self, index: int, outcome: ScenarioOutcome) -> None:
+        self._entries[index] = outcome
+        payload = {
+            "format": "sweep-json/v1",
+            "cache_version": CACHE_VERSION,
+            "master_seed": self.master_seed,
+            "duration": self.duration,
+            "entries": [{"index": i, "outcome": self._entries[i].to_dict()}
+                        for i in sorted(self._entries)],
+        }
+        atomic_write_text(self.path, json.dumps(payload))
+
+
+class JsonlResultSink(ResultSink):
+    """Append-only JSON Lines part — crash-safe incremental writes."""
+
+    kind = "jsonl"
+
+    def __init__(self, path: str | Path, master_seed: Optional[int] = None,
+                 duration: float = 0.0) -> None:
+        super().__init__(path, master_seed, duration)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_torn_tail()
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._handle = self.path.open("a", encoding="utf-8")
+        if fresh:
+            header = {"format": "sweep-jsonl/v1",
+                      "cache_version": CACHE_VERSION,
+                      "master_seed": self.master_seed,
+                      "duration": self.duration}
+            self._append(header)
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a partial trailing line left by a crash mid-write.
+
+        Without this, resuming a part (same worker id after a restart)
+        would append the next record onto the torn line, fusing two records
+        into one corrupt line that the loader then drops — losing the
+        re-executed scenario *after* its done marker exists.
+        """
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        if not raw or raw.endswith(b"\n"):
+            return
+        keep = raw.rfind(b"\n") + 1  # 0 when even the header is torn
+        with self.path.open("r+b") as handle:
+            handle.truncate(keep)
+
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def write(self, index: int, outcome: ScenarioOutcome) -> None:
+        self._append({"index": index, "outcome": outcome.to_dict()})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class ColumnarResultSink(ResultSink):
+    """Per-field JSON arrays plus a manifest, in a part *directory*.
+
+    Layout::
+
+        part.columnar/
+          manifest.json            # format, row count, column list, seed
+          columns/index.json       # [3, 17, 4, ...]
+          columns/status.json      # ["ok", "ok", ...]
+          columns/summary.throughput.json
+          ...
+
+    Rows append in completion order; the global index column carries the
+    ordering needed at merge time.  Every ``flush_every`` writes (default 1,
+    i.e. durable per write) the columns are rewritten atomically, manifest
+    last — a crash leaves the previous consistent snapshot plus at most the
+    rows since the last flush, which their workers' leases will recycle.
+    """
+
+    kind = "columnar"
+
+    def __init__(self, path: str | Path, master_seed: Optional[int] = None,
+                 duration: float = 0.0, flush_every: int = 1) -> None:
+        super().__init__(path, master_seed, duration)
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.flush_every = flush_every
+        self._rows: list[tuple[int, ScenarioOutcome]] = []
+        self._unflushed = 0
+        if (self.path / "manifest.json").exists():  # resume a part
+            self._rows = list(_load_columnar_entries(self.path))
+
+    def write(self, index: int, outcome: ScenarioOutcome) -> None:
+        self._rows.append((index, outcome))
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Rewrite all column files and then the manifest, atomically."""
+        columns_dir = self.path / "columns"
+        columns_dir.mkdir(parents=True, exist_ok=True)
+        columns: dict[str, list] = {"index": [i for i, _ in self._rows]}
+        for name in _OUTCOME_FIELDS:
+            columns[name] = [getattr(outcome, name)
+                             for _, outcome in self._rows]
+        for name in _SUMMARY_FIELDS:
+            columns[f"summary.{name}"] = [
+                None if outcome.summary is None
+                else getattr(outcome.summary, name)
+                for _, outcome in self._rows]
+        for name, values in columns.items():
+            atomic_write_text(columns_dir / f"{name}.json",
+                              json.dumps(values))
+        manifest = {
+            "format": "sweep-columnar/v1",
+            "cache_version": CACHE_VERSION,
+            "master_seed": self.master_seed,
+            "duration": self.duration,
+            "rows": len(self._rows),
+            "columns": sorted(columns),
+        }
+        atomic_write_text(self.path / "manifest.json",
+                          json.dumps(manifest, indent=2))
+        self._unflushed = 0
+
+    def close(self) -> None:
+        if self._unflushed:
+            self.flush()
+
+
+#: kind -> sink class.
+SINK_KINDS: dict[str, type[ResultSink]] = {
+    sink.kind: sink
+    for sink in (JsonResultSink, JsonlResultSink, ColumnarResultSink)
+}
+
+
+def open_sink(kind: str, path: str | Path,
+              master_seed: Optional[int] = None,
+              duration: float = 0.0) -> ResultSink:
+    """Instantiate a sink by format name (``json``/``jsonl``/``columnar``)."""
+    try:
+        sink_cls = SINK_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown sink kind {kind!r}; "
+                         f"expected one of {sorted(SINK_KINDS)}") from None
+    return sink_cls(path, master_seed=master_seed, duration=duration)
+
+
+def part_name(kind: str, worker_id: str) -> str:
+    """Canonical part file/directory name for one worker."""
+    suffix = {"json": ".json", "jsonl": ".jsonl",
+              "columnar": ".columnar"}[kind]
+    return f"part-{worker_id}{suffix}"
+
+
+# --------------------------------------------------------------------------- #
+# Loading
+# --------------------------------------------------------------------------- #
+def _load_json_entries(path: Path) -> list[tuple[int, ScenarioOutcome]]:
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict):
+        raise SinkError(f"{path}: not a sweep JSON document")
+    if "entries" in data:  # part format
+        return [(entry["index"], ScenarioOutcome.from_dict(entry["outcome"]))
+                for entry in data["entries"]]
+    if "outcomes" in data:  # canonical SweepResult.save format
+        result = SweepResult.from_dict(data)
+        return list(enumerate(result.outcomes))
+    raise SinkError(f"{path}: neither a part file nor a SweepResult document")
+
+
+def _load_jsonl_entries(path: Path) -> list[tuple[int, ScenarioOutcome]]:
+    entries: list[tuple[int, ScenarioOutcome]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break  # partial trailing line from a crash mid-write
+            raise SinkError(f"{path}:{lineno + 1}: corrupt JSONL record")
+        if "index" in record:
+            entries.append((record["index"],
+                            ScenarioOutcome.from_dict(record["outcome"])))
+    return entries
+
+
+def _load_columnar_entries(path: Path) -> list[tuple[int, ScenarioOutcome]]:
+    manifest = json.loads((path / "manifest.json").read_text())
+    rows = manifest["rows"]
+    columns_dir = path / "columns"
+
+    def column(name: str) -> list:
+        values = json.loads((columns_dir / f"{name}.json").read_text())
+        if len(values) < rows:
+            raise SinkError(f"{path}: column {name} has {len(values)} rows, "
+                            f"manifest says {rows}")
+        # A crash between column flushes can leave a column *longer* than
+        # the manifest (manifest is written last): trust the manifest.
+        return values[:rows]
+
+    indices = column("index")
+    outcome_columns = {name: column(name) for name in _OUTCOME_FIELDS}
+    summary_columns = {name: column(f"summary.{name}")
+                       for name in _SUMMARY_FIELDS}
+    entries = []
+    for row in range(rows):
+        data = {name: values[row]
+                for name, values in outcome_columns.items()}
+        if summary_columns["duration"][row] is not None:
+            data["summary"] = {name: values[row]
+                               for name, values in summary_columns.items()}
+        else:
+            data["summary"] = None
+        entries.append((indices[row], ScenarioOutcome.from_dict(data)))
+    return entries
+
+
+def _header_of(path: Path) -> dict:
+    """The (master_seed, duration) header of any sink part, if recoverable."""
+    try:
+        if path.is_dir():
+            return json.loads((path / "manifest.json").read_text())
+        if path.suffix == ".jsonl":
+            with path.open(encoding="utf-8") as handle:
+                first = handle.readline()
+            return json.loads(first) if first.strip() else {}
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def load_results(path: str | Path) -> list[tuple[int, ScenarioOutcome]]:
+    """Load ``(index, outcome)`` pairs from any sink part or SweepResult file.
+
+    The format is detected from the path: a directory is columnar, a
+    ``.jsonl`` file is JSON Lines, anything else is parsed as JSON (part
+    format or the canonical ``SweepResult.save`` document).
+    """
+    path = Path(path)
+    if path.is_dir():
+        return _load_columnar_entries(path)
+    if path.suffix == ".jsonl":
+        return _load_jsonl_entries(path)
+    return _load_json_entries(path)
+
+
+def merge_results(sources: Iterable[str | Path],
+                  expected_count: Optional[int] = None,
+                  master_seed: Optional[int] = None,
+                  duration: Optional[float] = None) -> SweepResult:
+    """Merge any mixture of sink parts into a canonical :class:`SweepResult`.
+
+    Sources are read in sorted-path order; duplicate indices (a stolen
+    scenario double-executed around a stale lease takeover) must agree on
+    every compared outcome field — determinism means re-execution is
+    idempotent — and the first occurrence wins.  With ``expected_count`` the
+    merge fails loudly on missing indices instead of returning a partial
+    result.
+    """
+    combined: dict[int, ScenarioOutcome] = {}
+    seed_header = master_seed
+    duration_header = duration
+    for source in sorted(Path(s) for s in sources):
+        header = _header_of(source)
+        for key, current in (("master_seed", seed_header),
+                             ("duration", duration_header)):
+            value = header.get(key)
+            if value is None:
+                continue
+            if current is not None and value != current:
+                raise SinkError(
+                    f"{source}: {key} {value!r} disagrees with {current!r} "
+                    f"from other parts — parts belong to different sweeps")
+        seed_header = (seed_header if seed_header is not None
+                       else header.get("master_seed"))
+        duration_header = (duration_header if duration_header is not None
+                           else header.get("duration"))
+        for index, outcome in load_results(source):
+            existing = combined.get(index)
+            if existing is None:
+                combined[index] = outcome
+            elif existing != outcome:
+                raise SinkError(
+                    f"{source}: scenario index {index} was recorded twice "
+                    f"with diverging results — determinism violation")
+    if expected_count is not None:
+        missing = sorted(set(range(expected_count)) - set(combined))
+        if missing:
+            raise SinkError(f"merge is missing {len(missing)} scenario(s): "
+                            f"indices {missing[:10]}"
+                            + ("..." if len(missing) > 10 else ""))
+        extra = sorted(set(combined) - set(range(expected_count)))
+        if extra:
+            raise SinkError(f"merge has out-of-range indices {extra[:10]}")
+    outcomes = [combined[index] for index in sorted(combined)]
+    return SweepResult(master_seed=seed_header,
+                       duration=duration_header if duration_header is not None
+                       else (outcomes[0].duration if outcomes else 0.0),
+                       outcomes=outcomes)

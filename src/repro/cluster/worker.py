@@ -1,0 +1,344 @@
+"""Worker side of the filesystem cluster protocol.
+
+A worker is stateless: point it at a cluster directory and it rebuilds the
+scenario list, seeds and shard plan from ``plan.json``, then loops:
+
+1. **Claim** the next pending scenario of its own shard (front to back — the
+   planner puts the costliest first).  Claims are atomic lease-file creation;
+   losing a race just moves on to the next candidate.
+2. **Steal** when its shard is exhausted: victims are ranked by estimated
+   *remaining* cost (the slowest shard is robbed first) and scenarios are
+   taken from the back of the victim's list (the cheapest remaining work),
+   so stragglers never gate the grid while the victim keeps its expensive
+   head-of-line work.
+3. **Reclaim** scenarios whose lease heartbeat went stale — a worker died
+   mid-scenario.  Takeover is an atomic rename; if two workers race, both
+   re-execute the scenario, which is harmless: execution is deterministic,
+   so the duplicate sink records are identical and the merge dedupes them.
+
+While a scenario runs, a daemon heartbeat thread refreshes the lease mtime
+at a third of the lease timeout, so long scenarios are never mistaken for
+dead workers.  Outcomes stream through the worker's private sink part;
+the ``done`` marker is written only after the sink write returned (i.e. the
+outcome is durable), which makes crash-and-resume safe at every point.
+
+``python -m repro.cluster.worker --cluster-dir DIR`` runs one worker from
+the command line — that is the whole multi-machine deployment story.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.cluster.coordinator import (
+    RESULTS_DIR,
+    WORKERS_DIR,
+    ClusterPlan,
+    atomic_write_json,
+    done_path,
+    lease_path,
+)
+from repro.cluster.sinks import open_sink, part_name
+from repro.runtime.cache import CacheReport, CacheSkip, ResumeCache
+from repro.runtime.sweep import ScenarioOutcome, execute_scenario
+
+
+class _Heartbeat:
+    """Daemon thread refreshing a lease's mtime while a scenario runs."""
+
+    def __init__(self, lease: Path, interval: float) -> None:
+        self._lease = lease
+        self._interval = max(interval, 0.05)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                os.utime(self._lease)
+            except OSError:
+                return  # lease was taken over or cleaned up: stop beating
+
+
+class ClusterWorker:
+    """Executes scenarios from a shared cluster directory.
+
+    Parameters
+    ----------
+    cluster_dir:
+        Directory a :class:`~repro.cluster.coordinator.ClusterCoordinator`
+        wrote a plan into.
+    worker_id:
+        Unique name; used for the sink part, lease ownership and the
+        registration file.  Defaults to ``<hostname>-<pid>``.
+    shard:
+        Home shard id.  ``None`` auto-assigns round-robin over the existing
+        worker registrations.
+    steal:
+        Whether to take work from other shards once the home shard is done.
+    crash_after_claims:
+        Test hook — the worker "dies" (stops, leaving its last lease without
+        a heartbeat) immediately after its N-th successful claim, simulating
+        a machine lost mid-scenario.
+    on_outcome:
+        Optional progress callback, as in ``SweepRunner``.
+    """
+
+    def __init__(self, cluster_dir: str | Path,
+                 worker_id: Optional[str] = None,
+                 shard: Optional[int] = None,
+                 steal: bool = True,
+                 crash_after_claims: Optional[int] = None,
+                 on_outcome: Optional[Callable[[ScenarioOutcome], None]] = None,
+                 ) -> None:
+        self.cluster_dir = Path(cluster_dir)
+        self.plan = ClusterPlan.load(self.cluster_dir)
+        if worker_id is None:
+            worker_id = f"{os.uname().nodename}-{os.getpid()}"
+        self.worker_id = worker_id
+        self.steal = steal
+        self.crash_after_claims = crash_after_claims
+        self.on_outcome = on_outcome
+        self.crashed = False
+        self.executed: list[int] = []
+        self.cache_report = CacheReport()
+        self._claims = 0
+        self._cache = (None if self.plan.cache_dir is None
+                       else ResumeCache(self.plan.cache_dir))
+        self.shard = self._register(shard)
+        self.sink = open_sink(
+            self.plan.sink,
+            self.cluster_dir / RESULTS_DIR / part_name(self.plan.sink,
+                                                       self.worker_id),
+            master_seed=self.plan.master_seed,
+            duration=self.plan.duration,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Registration / shard assignment
+    # ------------------------------------------------------------------ #
+    def _register(self, shard: Optional[int]) -> int:
+        workers_dir = self.cluster_dir / WORKERS_DIR
+        workers_dir.mkdir(parents=True, exist_ok=True)
+        num_shards = self.plan.shard_plan.num_shards
+        if shard is None:
+            existing = len(list(workers_dir.glob("*.json")))
+            shard = existing % num_shards
+        if not 0 <= shard < num_shards:
+            raise ValueError(f"shard {shard} out of range "
+                             f"(plan has {num_shards} shards)")
+        atomic_write_json(workers_dir / f"{self.worker_id}.json",
+                          {"worker_id": self.worker_id, "shard": shard,
+                           "registered_at": time.time()})
+        return shard
+
+    # ------------------------------------------------------------------ #
+    # Candidate selection
+    # ------------------------------------------------------------------ #
+    def _is_done(self, index: int) -> bool:
+        return done_path(self.cluster_dir, index).exists()
+
+    def _lease_age(self, index: int) -> Optional[float]:
+        """Seconds since the lease's last heartbeat, or ``None`` if unleased."""
+        try:
+            return time.time() - lease_path(self.cluster_dir,
+                                            index).stat().st_mtime
+        except OSError:
+            return None
+
+    def _is_available(self, index: int) -> bool:
+        """Pending: not done, and not covered by a live lease."""
+        if self._is_done(index):
+            return False
+        age = self._lease_age(index)
+        return age is None or age >= self.plan.lease_timeout
+
+    def _pending_of_shard(self, shard_id: int) -> list[int]:
+        return [index for index in self.plan.shard_plan.shards[shard_id]
+                if self._is_available(index)]
+
+    def _next_candidates(self):
+        """Yield candidate indices in claim-priority order.
+
+        Own shard front-to-back first; then, if stealing, other shards by
+        descending remaining estimated cost, robbed back-to-front.
+        """
+        yield from self._pending_of_shard(self.shard)
+        if not self.steal:
+            return
+        plan = self.plan.shard_plan
+        victims = []
+        for shard_id in range(plan.num_shards):
+            if shard_id == self.shard:
+                continue
+            pending = self._pending_of_shard(shard_id)
+            if not pending:
+                continue
+            remaining = sum(plan.scenario_costs[index] for index in pending)
+            victims.append((-remaining, shard_id, pending))
+        victims.sort()
+        for _, _, pending in victims:
+            yield from reversed(pending)
+
+    # ------------------------------------------------------------------ #
+    # Claiming
+    # ------------------------------------------------------------------ #
+    def _claim(self, index: int) -> bool:
+        """Try to acquire the lease for ``index``; never blocks."""
+        lease = lease_path(self.cluster_dir, index)
+        payload = json.dumps({"worker_id": self.worker_id,
+                              "claimed_at": time.time()})
+        try:
+            descriptor = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            age = self._lease_age(index)
+            if age is None:
+                # Lease vanished between the existence check and now —
+                # retry through the normal candidate loop.
+                return False
+            if age < self.plan.lease_timeout or self._is_done(index):
+                return False
+            # Stale lease: take it over atomically.  If two workers race
+            # here both takeovers "succeed" and the scenario runs twice —
+            # deterministic execution makes that merely wasteful, and the
+            # merge dedupes the identical records.
+            tmp = lease.with_name(f"{lease.name}.{self.worker_id}.tmp")
+            tmp.write_text(payload)
+            tmp.replace(lease)
+            return not self._is_done(index)
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(payload)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _execute(self, index: int) -> ScenarioOutcome:
+        spec = self.plan.specs[index]
+        seed = self.plan.seeds[index]
+        duration = self.plan.duration
+        outcome = None
+        if self._cache is not None:
+            outcome, reason = self._cache.load(spec, seed, duration)
+            if outcome is not None:
+                self.cache_report.hits.append(spec.name)
+            elif reason is not None:
+                self.cache_report.skips.append(CacheSkip(spec.name, reason))
+            else:
+                self.cache_report.misses.append(spec.name)
+        if outcome is None:
+            outcome = execute_scenario(spec, seed, duration)
+            if self._cache is not None:
+                self._cache.store(spec, outcome, duration)
+        self.sink.write(index, outcome)
+        atomic_write_json(done_path(self.cluster_dir, index),
+                          {"index": index, "worker_id": self.worker_id,
+                           "wall_time": outcome.wall_time,
+                           "finished_at": time.time()})
+        self.executed.append(index)
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
+        return outcome
+
+    def step(self) -> Optional[int]:
+        """Claim and execute one scenario; ``None`` when nothing is left.
+
+        "Nothing" means: no pending scenario this worker may take right now.
+        Live leases held by other workers are *not* waited for — callers
+        that want to drain a grid poll :meth:`step` (or use :meth:`run`)
+        until the coordinator reports completion.
+        """
+        if self.crashed:
+            return None
+        for index in self._next_candidates():
+            if not self._claim(index):
+                continue
+            self._claims += 1
+            if (self.crash_after_claims is not None
+                    and self._claims >= self.crash_after_claims):
+                # Simulated death mid-scenario: keep the lease, never
+                # heartbeat, write nothing.  The lease goes stale and the
+                # scenario is reclaimed by a peer.
+                self.crashed = True
+                return None
+            lease = lease_path(self.cluster_dir, index)
+            with _Heartbeat(lease, self.plan.lease_timeout / 3.0):
+                self._execute(index)
+            return index
+        return None
+
+    def run(self, poll_interval: float = 0.2,
+            wait_for_stragglers: bool = True) -> int:
+        """Serve scenarios until the grid has no work left for this worker.
+
+        With ``wait_for_stragglers`` the worker idles (sleeping
+        ``poll_interval``) while other workers still hold live leases, so it
+        can reclaim them if their owners die; it returns once every
+        scenario is done.  Returns the number of scenarios this worker
+        executed.
+        """
+        while True:
+            if self.step() is not None:
+                continue
+            if self.crashed or not wait_for_stragglers:
+                break
+            if all(self._is_done(index)
+                   for index in range(len(self.plan.specs))):
+                break
+            time.sleep(poll_interval)
+        self.sink.close()
+        return len(self.executed)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.cluster.worker``."""
+    parser = argparse.ArgumentParser(
+        description="Run one sweep-cluster worker against a shared "
+                    "cluster directory.")
+    parser.add_argument("--cluster-dir", required=True,
+                        help="directory containing plan.json")
+    parser.add_argument("--worker-id", default=None,
+                        help="unique worker name (default: <host>-<pid>)")
+    parser.add_argument("--shard", type=int, default=None,
+                        help="home shard (default: auto round-robin)")
+    parser.add_argument("--no-steal", action="store_true",
+                        help="never take work from other shards")
+    parser.add_argument("--no-wait", action="store_true",
+                        help="exit when idle instead of standing by to "
+                             "reclaim crashed peers' work")
+    args = parser.parse_args(argv)
+
+    def progress(outcome: ScenarioOutcome) -> None:
+        tag = "cached" if outcome.from_cache else (
+            "ok" if outcome.ok else "FAILED")
+        print(f"[{worker.worker_id}] {outcome.scenario_name:<40} {tag} "
+              f"({outcome.wall_time:.1f}s)", flush=True)
+
+    worker = ClusterWorker(args.cluster_dir, worker_id=args.worker_id,
+                           shard=args.shard, steal=not args.no_steal,
+                           on_outcome=progress)
+    print(f"[{worker.worker_id}] serving shard {worker.shard} of "
+          f"{worker.plan.shard_plan.num_shards} "
+          f"({len(worker.plan.specs)} scenarios total)", flush=True)
+    executed = worker.run(wait_for_stragglers=not args.no_wait)
+    print(f"[{worker.worker_id}] done: {executed} scenario(s) executed",
+          flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

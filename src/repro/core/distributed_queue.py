@@ -19,6 +19,7 @@ Properties implemented (Appendix E.1.2):
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -62,7 +63,17 @@ class QueueItem:
         return self.request.priority
 
     def is_ready(self, cycle: int) -> bool:
-        """Whether this item may be served in MHP cycle ``cycle``."""
+        """Whether this item may be served in MHP cycle ``cycle``.
+
+        Readiness caching invariant (see :meth:`LocalQueue.ready_items`):
+        the fields this predicate reads — ``acknowledged``,
+        ``schedule_cycle``, ``suspended_until_cycle``, ``pairs_remaining``
+        — may only change through paths that invalidate the owning queue's
+        ready cache (``LocalQueue.add/remove``, ``DistributedQueue`` frame
+        handling), with one audited exception: the EGP decrements
+        ``pairs_remaining`` on delivery and, when it reaches zero, removes
+        the item before the next readiness query.
+        """
         return (self.acknowledged
                 and cycle >= self.schedule_cycle
                 and cycle >= self.suspended_until_cycle
@@ -77,6 +88,14 @@ class LocalQueue:
         self.max_size = max_size
         self._items: dict[int, QueueItem] = {}
         self._order: list[int] = []
+        # Ready-list cache: the EGP asks for ready items every GEN cycle,
+        # but the answer only changes when the queue mutates or a waiting
+        # item crosses its schedule/suspension cycle.  ``_ready_next_change``
+        # is the earliest such crossing; until then a cache hit skips the
+        # per-item scan entirely.
+        self._ready_cache: Optional[list[QueueItem]] = None
+        self._ready_cycle: int = -1
+        self._ready_next_change: float = math.inf
 
     def __len__(self) -> int:
         return len(self._items)
@@ -89,6 +108,10 @@ class LocalQueue:
         """Whether the queue has reached its maximum size."""
         return len(self._items) >= self.max_size
 
+    def invalidate_ready_cache(self) -> None:
+        """Drop the cached ready list (any readiness-affecting mutation)."""
+        self._ready_cache = None
+
     def add(self, item: QueueItem) -> None:
         """Insert ``item`` keyed by its queue sequence number."""
         seq = item.queue_id.queue_seq
@@ -98,6 +121,7 @@ class LocalQueue:
             raise OverflowError(f"queue {self.queue_id} is full")
         self._items[seq] = item
         self._order.append(seq)
+        self.invalidate_ready_cache()
 
     def get(self, queue_seq: int) -> Optional[QueueItem]:
         """Item with the given sequence number, or ``None``."""
@@ -108,6 +132,7 @@ class LocalQueue:
         item = self._items.pop(queue_seq, None)
         if item is not None:
             self._order.remove(queue_seq)
+            self.invalidate_ready_cache()
         return item
 
     def items_in_order(self) -> list[QueueItem]:
@@ -115,8 +140,34 @@ class LocalQueue:
         return [self._items[seq] for seq in self._order]
 
     def ready_items(self, cycle: int) -> list[QueueItem]:
-        """Items that may be served in ``cycle``, in arrival order."""
-        return [item for item in self.items_in_order() if item.is_ready(cycle)]
+        """Items that may be served in ``cycle``, in arrival order.
+
+        Cached between calls: the list is rebuilt only after a mutation
+        (add / remove / acknowledgement — see :meth:`invalidate_ready_cache`)
+        or once ``cycle`` reaches the earliest schedule/suspension crossing
+        of a waiting item.  Callers must treat the returned list as
+        read-only (the EGP and schedulers already do).
+        """
+        if (self._ready_cache is not None
+                and self._ready_cycle <= cycle < self._ready_next_change):
+            return self._ready_cache
+        ready = []
+        next_change = math.inf
+        for seq in self._order:
+            item = self._items[seq]
+            if item.is_ready(cycle):
+                ready.append(item)
+            elif item.acknowledged and item.pairs_remaining > 0:
+                # Not ready yet, but will become ready without any further
+                # mutation once its schedule/suspension cycle passes.
+                threshold = max(item.schedule_cycle,
+                                item.suspended_until_cycle)
+                if threshold > cycle:
+                    next_change = min(next_change, threshold)
+        self._ready_cache = ready
+        self._ready_cycle = cycle
+        self._ready_next_change = next_change
+        return ready
 
 
 @dataclass
@@ -367,6 +418,9 @@ class DistributedQueue(Protocol):
             if queue.get(frame.queue_seq) is None:
                 queue.add(item)
         item.acknowledged = True
+        # The item may already have been in the queue (master origin):
+        # flipping ``acknowledged`` changes readiness, so drop the cache.
+        self.queues[frame.queue_id].invalidate_ready_cache()
         if self.on_item_added is not None:
             self.on_item_added(item)
         pending.callback(item, None)

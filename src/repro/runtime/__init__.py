@@ -12,15 +12,23 @@ from repro.runtime.scenarios import (
     paper_grid,
     ScenarioSpec,
 )
+from repro.runtime.cache import CacheReport, CacheSkip, ResumeCache
 from repro.runtime.sweep import (
     ScenarioOutcome,
     SweepResult,
     SweepRunner,
+    derive_keyed_seed,
     derive_scenario_seeds,
+    execute_scenario,
     run_sweep,
 )
 
 __all__ = [
+    "CacheReport",
+    "CacheSkip",
+    "ResumeCache",
+    "derive_keyed_seed",
+    "execute_scenario",
     "WorkloadSpec",
     "RequestGenerator",
     "UsagePattern",

@@ -1,0 +1,208 @@
+"""Resume cache for sweeps and cluster workers.
+
+Each completed scenario is persisted as one JSON file keyed by a hash of the
+scenario *identity* (hardware, workload, scheduler, batch size) plus the
+derived seed and simulated duration, with the resolved physics backend as a
+filename suffix.  Keeping the cache version and backend *out* of the hash —
+they were folded into it before PR 3 — means a stale or foreign entry is
+*found and reported* instead of silently missed: a sweep can tell the
+operator "skipped, written by cache version 2" rather than quietly
+recomputing.
+
+Skip reasons are logged through the ``repro.runtime.cache`` logger and
+surfaced via :class:`CacheReport` (see ``SweepRunner.cache_report()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
+    from repro.runtime.scenarios import ScenarioSpec
+    from repro.runtime.sweep import ScenarioOutcome
+
+#: Cache-format version; bump when the outcome schema or file layout changes.
+#: v3: wrapper payload {cache_version, backend, outcome} with the backend in
+#: the filename instead of the key hash; outcomes record events_processed.
+CACHE_VERSION = 3
+
+logger = logging.getLogger("repro.runtime.cache")
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` via a per-process tmp file and atomic rename.
+
+    The single atomic-persistence idiom shared by the resume cache, the
+    result sinks and the cluster protocol: concurrent writers never
+    interleave (per-pid tmp names), the last rename wins with a complete
+    file, and a killed process never leaves a torn file at ``path``.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+    tmp.write_text(text)
+    tmp.replace(path)
+
+
+@dataclass
+class CacheSkip:
+    """One cache entry that was found but could not be used."""
+
+    scenario_name: str
+    reason: str
+
+
+@dataclass
+class CacheReport:
+    """What the resume cache did for one sweep (or worker) run."""
+
+    #: Scenario names served from cache.
+    hits: list[str] = field(default_factory=list)
+    #: Scenario names with no cache entry at all.
+    misses: list[str] = field(default_factory=list)
+    #: Entries that existed but were skipped, with the reason.
+    skips: list[CacheSkip] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        """Summary counters (hits / misses / skips)."""
+        return {"hits": len(self.hits), "misses": len(self.misses),
+                "skips": len(self.skips)}
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (used by examples)."""
+        lines = [f"resume cache: {len(self.hits)} hit(s), "
+                 f"{len(self.misses)} miss(es), {len(self.skips)} skipped"]
+        for skip in self.skips:
+            lines.append(f"  skipped {skip.scenario_name}: {skip.reason}")
+        return "\n".join(lines)
+
+
+class ResumeCache:
+    """Per-scenario result cache shared by :class:`SweepRunner` and cluster
+    workers.
+
+    Only successful outcomes are stored, so failures are retried on the next
+    attempt.  Writes are atomic (tmp + rename): a killed run never leaves a
+    half-written entry.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key(spec: "ScenarioSpec", seed: int, duration: float) -> str:
+        """Hash of everything that determines a scenario's result — except
+        the backend and cache version, which live in the filename and entry
+        payload so that mismatches are detectable."""
+        payload = {
+            "identity": spec.identity_payload(),
+            "seed": seed,
+            "duration": duration,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, default=repr).encode()
+        ).hexdigest()
+        return digest[:20]
+
+    def path(self, spec: "ScenarioSpec", seed: int, duration: float,
+             backend: Optional[str] = None) -> Path:
+        """Cache file for ``spec`` under the given (or resolved) backend."""
+        backend = backend or spec.backend_name()
+        return self.directory / f"{self.key(spec, seed, duration)}.{backend}.json"
+
+    # ------------------------------------------------------------------ #
+    # Load / store
+    # ------------------------------------------------------------------ #
+    def load(self, spec: "ScenarioSpec", seed: int, duration: float,
+             ) -> tuple[Optional["ScenarioOutcome"], Optional[str]]:
+        """Look up a cached outcome.
+
+        Returns ``(outcome, None)`` on a usable hit, ``(None, None)`` on a
+        plain miss, and ``(None, reason)`` when an entry was found but had to
+        be skipped (wrong cache version, different backend, corrupt, or a
+        recorded failure).  Skips are logged.
+        """
+        from repro.runtime.sweep import ScenarioOutcome
+
+        backend = spec.backend_name()
+        path = self.path(spec, seed, duration, backend=backend)
+        if not path.exists():
+            reason = self._foreign_backend_reason(spec, seed, duration, backend)
+            if reason is not None:
+                self._log_skip(spec.name, reason)
+            return None, reason
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            reason = f"corrupt cache entry ({error.msg} at char {error.pos})"
+            self._log_skip(spec.name, reason)
+            return None, reason
+        if not isinstance(data, dict) or "outcome" not in data:
+            reason = "unversioned legacy cache entry (pre-v3 layout)"
+            self._log_skip(spec.name, reason)
+            return None, reason
+        version = data.get("cache_version")
+        if version != CACHE_VERSION:
+            reason = (f"cache entry written by cache version {version}, "
+                      f"this run uses {CACHE_VERSION}")
+            self._log_skip(spec.name, reason)
+            return None, reason
+        entry_backend = data.get("backend")
+        if entry_backend != backend:
+            reason = (f"cache entry written under backend "
+                      f"{entry_backend!r}, this run resolves to {backend!r}")
+            self._log_skip(spec.name, reason)
+            return None, reason
+        try:
+            outcome = ScenarioOutcome.from_dict(data["outcome"])
+        except (KeyError, TypeError) as error:
+            reason = f"corrupt cache entry ({error!r})"
+            self._log_skip(spec.name, reason)
+            return None, reason
+        if not outcome.ok:
+            reason = "cache entry records a failed run; retrying"
+            self._log_skip(spec.name, reason)
+            return None, reason
+        outcome.from_cache = True
+        return outcome, None
+
+    def store(self, spec: "ScenarioSpec", outcome: "ScenarioOutcome",
+              duration: float) -> None:
+        """Persist a successful outcome (failures are never cached)."""
+        if not outcome.ok:
+            return
+        path = self.path(spec, outcome.seed, duration, backend=outcome.backend)
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "backend": outcome.backend,
+            "outcome": outcome.to_dict(),
+        }
+        atomic_write_text(path, json.dumps(payload))
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _foreign_backend_reason(self, spec: "ScenarioSpec", seed: int,
+                                duration: float,
+                                backend: str) -> Optional[str]:
+        """Report entries for the same scenario under *other* backends."""
+        stem = self.key(spec, seed, duration)
+        siblings = sorted(self.directory.glob(f"{stem}.*.json"))
+        if not siblings:
+            return None
+        others = [path.name[len(stem) + 1:-len(".json")] for path in siblings]
+        return (f"cache entry exists only under backend(s) "
+                f"{', '.join(repr(o) for o in others)}, this run resolves "
+                f"to {backend!r}")
+
+    @staticmethod
+    def _log_skip(scenario_name: str, reason: str) -> None:
+        logger.info("resume cache skip for %s: %s", scenario_name, reason)

@@ -30,6 +30,10 @@ class RunResult:
     seed: Optional[int] = None
     #: Resolved name of the physics backend that produced this result.
     backend: str = "density"
+    #: Simulation events processed during the run — deterministic for a
+    #: given (scenario, seed, backend), and the raw signal cost models and
+    #: benchmarks use to compare runs across machines.
+    events_processed: int = 0
     metrics: Optional[MetricsCollector] = field(default=None, repr=False,
                                                 compare=False)
     network: Optional[LinkLayerNetwork] = field(default=None, repr=False,
@@ -102,6 +106,7 @@ class SimulationRun:
             requests_issued=self.generator.requests_issued,
             seed=self.seed,
             backend=self.network.backend.name,
+            events_processed=self.network.engine.processed_events,
             metrics=self.metrics,
             network=self.network,
         )

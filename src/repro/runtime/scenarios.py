@@ -14,10 +14,14 @@ Two families are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+import hashlib
+import json
+import typing
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.messages import Priority
+from repro.core.messages import Priority, RequestType
 from repro.hardware.parameters import ScenarioConfig, lab_scenario, ql2020_scenario
 from repro.runtime.runner import RunResult, SimulationRun
 from repro.runtime.workload import UsagePattern, WorkloadSpec
@@ -60,6 +64,32 @@ USAGE_PATTERNS: dict[str, UsagePattern] = {
 }
 
 
+def _build_dataclass(cls: type, data: dict):
+    """Rebuild a (possibly nested) dataclass from ``dataclasses.asdict`` output.
+
+    Field types are resolved through ``typing.get_type_hints`` (the modules
+    use ``from __future__ import annotations``, so ``fields()`` only carries
+    strings); nested dataclasses and ``Optional`` wrappers are reconstructed
+    recursively.  Unknown keys are ignored so older serialised plans keep
+    loading after a field is added.
+    """
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for spec_field in dataclasses.fields(cls):
+        if spec_field.name not in data:
+            continue
+        value = data[spec_field.name]
+        hint = hints.get(spec_field.name)
+        if typing.get_origin(hint) is typing.Union:
+            args = [arg for arg in typing.get_args(hint)
+                    if arg is not type(None)]
+            hint = args[0] if len(args) == 1 else None
+        if dataclasses.is_dataclass(hint) and isinstance(value, dict):
+            value = _build_dataclass(hint, value)
+        kwargs[spec_field.name] = value
+    return cls(**kwargs)
+
+
 @dataclass
 class ScenarioSpec:
     """A fully specified simulation scenario ready to run."""
@@ -80,6 +110,95 @@ class ScenarioSpec:
         from repro.backends import resolve_backend_name
 
         return resolve_backend_name(self.backend)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation and identity (cluster plans, resume cache, cost models)
+    # ------------------------------------------------------------------ #
+    def scheduler_name(self) -> str:
+        """Scheduler name whether ``scheduler`` is a string or an instance."""
+        return (self.scheduler if isinstance(self.scheduler, str)
+                else self.scheduler.name)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (cluster plan files).
+
+        Scheduler instances are flattened to their name — a spec rebuilt
+        from this dict resolves the scheduler through
+        :func:`repro.core.scheduler.make_scheduler`, so custom instances must
+        be registered there to survive a plan round-trip.
+        """
+        return {
+            "name": self.name,
+            "scenario": dataclasses.asdict(self.scenario),
+            "workload": [{**dataclasses.asdict(w), "priority": w.priority.name}
+                         for w in self.workload],
+            "scheduler": self.scheduler_name(),
+            "seed": self.seed,
+            "attempt_batch_size": self.attempt_batch_size,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec serialised with :meth:`to_dict`."""
+        workload = tuple(
+            _build_dataclass(WorkloadSpec,
+                             {**entry, "priority": Priority[entry["priority"]]})
+            for entry in data["workload"])
+        return cls(
+            name=data["name"],
+            scenario=_build_dataclass(ScenarioConfig, data["scenario"]),
+            workload=workload,
+            scheduler=data.get("scheduler", "FCFS"),
+            seed=data.get("seed", 12345),
+            attempt_batch_size=data.get("attempt_batch_size", 1),
+            backend=data.get("backend"),
+        )
+
+    def identity_payload(self) -> dict:
+        """Everything that defines the scenario *itself*.
+
+        Excludes the backend (the same scenario simulated under a different
+        physics backend shares an identity; the resume cache and cost models
+        key on ``(identity, backend)`` separately) and the legacy ``seed``
+        field (sweeps derive per-scenario seeds from the master seed).
+        """
+        payload = self.to_dict()
+        payload.pop("backend")
+        payload.pop("seed")
+        return payload
+
+    def identity_key(self) -> str:
+        """Stable short hash of :meth:`identity_payload`.
+
+        Depends only on the scenario definition — never on grid position,
+        backend or master seed — so recorded costs and cache entries survive
+        grid reordering and extension.
+        """
+        canonical = json.dumps(self.identity_payload(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:20]
+
+    def cost_features(self) -> dict:
+        """Plain-data features for static cost heuristics.
+
+        Per workload kind: ``pairs`` is the per-request pair count (the
+        paper's k255 MD runs dominate wall-clock), ``keep`` whether the kind
+        is create-and-keep (K attempts are orders of magnitude longer than
+        M attempts, scaled by the hardware's expected MHP cycles per K
+        attempt).  This is the *only* place pair/kind cost features are
+        derived — cost models consume the dict rather than re-deriving.
+        """
+        return {
+            "hardware": self.scenario.name,
+            "expected_cycles_k": self.scenario.timing.expected_cycles_per_attempt_k,
+            "batch": self.attempt_batch_size,
+            "workloads": [{
+                "pairs": (w.num_pairs if w.num_pairs is not None
+                          else w.max_pairs),
+                "load": w.load_fraction,
+                "keep": w.request_type is RequestType.KEEP,
+            } for w in self.workload],
+        }
 
     def run(self, duration: float, seed: Optional[int] = None,
             attempt_batch_size: Optional[int] = None,

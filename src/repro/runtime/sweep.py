@@ -28,7 +28,6 @@ Design points:
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import multiprocessing
@@ -41,10 +40,22 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.analysis.metrics import MetricsSummary
+from repro.runtime.cache import CACHE_VERSION, CacheReport, CacheSkip, ResumeCache
 from repro.runtime.scenarios import ScenarioSpec
 
-#: Cache-format version; bump when the outcome schema changes.
-CACHE_VERSION = 2
+__all__ = [
+    "CACHE_VERSION",
+    "CacheReport",
+    "CacheSkip",
+    "ResumeCache",
+    "ScenarioOutcome",
+    "SweepResult",
+    "SweepRunner",
+    "derive_keyed_seed",
+    "derive_scenario_seeds",
+    "execute_scenario",
+    "run_sweep",
+]
 
 
 def derive_scenario_seeds(master_seed: Optional[int],
@@ -86,11 +97,6 @@ def _fresh_master_seed() -> int:
         1, dtype=np.uint64)[0] >> 1)
 
 
-def _scheduler_name(spec: ScenarioSpec) -> str:
-    scheduler = spec.scheduler
-    return scheduler if isinstance(scheduler, str) else scheduler.name
-
-
 @dataclass
 class ScenarioOutcome:
     """Result of one scenario inside a sweep (plain data, JSON-safe)."""
@@ -105,6 +111,10 @@ class ScenarioOutcome:
     error: Optional[str] = None
     #: Resolved physics backend the scenario ran under.
     backend: str = "density"
+    #: Simulation events processed — deterministic for a given (scenario,
+    #: seed, backend), so it participates in equality and pins the
+    #: serial-vs-sharded equivalence tests down to the event count.
+    events_processed: int = 0
     wall_time: float = field(default=0.0, compare=False)
     from_cache: bool = field(default=False, compare=False)
 
@@ -133,6 +143,7 @@ class ScenarioOutcome:
             requests_issued=data.get("requests_issued", 0),
             error=data.get("error"),
             backend=data.get("backend", "density"),
+            events_processed=data.get("events_processed", 0),
             wall_time=data.get("wall_time", 0.0),
             from_cache=data.get("from_cache", False),
         )
@@ -197,18 +208,19 @@ class SweepResult:
         return cls.from_json(Path(path).read_text())
 
 
-def _execute_scenario(payload: tuple[int, ScenarioSpec, int, float],
-                      ) -> tuple[int, ScenarioOutcome]:
-    """Run one scenario inside a worker process.
+def execute_scenario(spec: ScenarioSpec, seed: int,
+                     duration: float) -> ScenarioOutcome:
+    """Run one scenario and fold the result into a plain-data outcome.
 
+    This is the single execution primitive shared by the in-process sweep,
+    the multiprocessing pool workers and the ``repro.cluster`` workers.
     Always returns an outcome — any exception becomes a ``status="error"``
-    record so a bad scenario cannot hang or poison the pool.
+    record so a bad scenario cannot hang or poison a pool or a shard.
     """
-    index, spec, seed, duration = payload
     started = time.perf_counter()
     try:
         result = spec.run(duration, seed=seed)
-        outcome = ScenarioOutcome(
+        return ScenarioOutcome(
             scenario_name=spec.name,
             scheduler_name=result.scheduler_name,
             seed=seed,
@@ -217,12 +229,13 @@ def _execute_scenario(payload: tuple[int, ScenarioSpec, int, float],
             summary=result.summary,
             requests_issued=result.requests_issued,
             backend=result.backend,
+            events_processed=result.events_processed,
             wall_time=time.perf_counter() - started,
         )
     except Exception:
-        outcome = ScenarioOutcome(
+        return ScenarioOutcome(
             scenario_name=spec.name,
-            scheduler_name=_scheduler_name(spec),
+            scheduler_name=spec.scheduler_name(),
             seed=seed,
             duration=duration,
             status="error",
@@ -230,7 +243,13 @@ def _execute_scenario(payload: tuple[int, ScenarioSpec, int, float],
             backend=spec.backend_name(),
             wall_time=time.perf_counter() - started,
         )
-    return index, outcome
+
+
+def _execute_scenario(payload: tuple[int, ScenarioSpec, int, float],
+                      ) -> tuple[int, ScenarioOutcome]:
+    """Pool-worker wrapper around :func:`execute_scenario`."""
+    index, spec, seed, duration = payload
+    return index, execute_scenario(spec, seed, duration)
 
 
 class SweepRunner:
@@ -288,6 +307,8 @@ class SweepRunner:
                             else _fresh_master_seed())
         self.workers = max(1, int(workers))
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self._cache = None if cache_dir is None else ResumeCache(cache_dir)
+        self._cache_report = CacheReport()
         self.on_outcome = on_outcome
         self.seed_key = seed_key
         if start_method is None:
@@ -307,70 +328,43 @@ class SweepRunner:
 
     @staticmethod
     def cache_key(spec: ScenarioSpec, seed: int, duration: float) -> str:
-        """Hash of everything that determines a scenario's result."""
-        workload = [{
-            "priority": int(w.priority),
-            "load_fraction": w.load_fraction,
-            "max_pairs": w.max_pairs,
-            "origin": w.origin,
-            "min_fidelity": w.min_fidelity,
-            "num_pairs": w.num_pairs,
-            "max_time": w.max_time,
-        } for w in spec.workload]
-        payload = {
-            "version": CACHE_VERSION,
-            "name": spec.name,
-            # Full hardware parameter set: any physics change (coherence
-            # times, optics, frame loss, ...) must miss the cache.
-            "hardware": dataclasses.asdict(spec.scenario),
-            "scheduler": _scheduler_name(spec),
-            "seed": seed,
-            "duration": duration,
-            "batch": spec.attempt_batch_size,
-            # Resolved backend name: results from different physics backends
-            # must never satisfy each other's cache lookups.
-            "backend": spec.backend_name(),
-            "workload": workload,
-        }
-        digest = hashlib.sha256(
-            json.dumps(payload, sort_keys=True, default=repr).encode()
-        ).hexdigest()
-        return digest[:20]
+        """Hash of the scenario identity + run parameters (see
+        :meth:`ResumeCache.key`; the backend lives in the filename)."""
+        return ResumeCache.key(spec, seed, duration)
 
-    def _cache_path(self, spec: ScenarioSpec, seed: int) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{self.cache_key(spec, seed, self.duration)}.json"
+    def cache_report(self) -> CacheReport:
+        """What the resume cache did for the most recent :meth:`run`.
+
+        Distinguishes plain misses from entries that were *found* but
+        skipped — e.g. written by a different ``CACHE_VERSION`` or physics
+        backend — with the reason per scenario.
+        """
+        return self._cache_report
 
     def _load_cached(self, spec: ScenarioSpec,
                      seed: int) -> Optional[ScenarioOutcome]:
-        path = self._cache_path(spec, seed)
-        if path is None or not path.exists():
+        if self._cache is None:
             return None
-        try:
-            outcome = ScenarioOutcome.from_dict(json.loads(path.read_text()))
-        except (json.JSONDecodeError, KeyError, TypeError):
-            return None  # corrupt entry: recompute
-        if not outcome.ok:
-            return None
-        outcome.from_cache = True
+        outcome, reason = self._cache.load(spec, seed, self.duration)
+        if outcome is not None:
+            self._cache_report.hits.append(spec.name)
+        elif reason is not None:
+            self._cache_report.skips.append(CacheSkip(spec.name, reason))
+        else:
+            self._cache_report.misses.append(spec.name)
         return outcome
 
     def _store_cached(self, spec: ScenarioSpec, outcome: ScenarioOutcome,
                       ) -> None:
-        path = self._cache_path(spec, outcome.seed)
-        if path is None or not outcome.ok:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(outcome.to_dict()))
-        tmp.replace(path)  # atomic: a killed sweep never leaves half a file
+        if self._cache is not None:
+            self._cache.store(spec, outcome, self.duration)
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def run(self) -> SweepResult:
         """Run the sweep and return outcomes in scenario order."""
+        self._cache_report = CacheReport()
         seeds = self.scenario_seeds()
         outcomes: list[Optional[ScenarioOutcome]] = [None] * len(self.scenarios)
         pending: list[tuple[int, ScenarioSpec, int, float]] = []

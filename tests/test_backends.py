@@ -387,11 +387,20 @@ class TestSweepIntegration:
         assert not other.outcomes[0].from_cache
         assert other.outcomes[0].backend == "density"
 
-    def test_backend_distinguishes_cache_keys(self):
+    def test_backend_distinguishes_cache_entries(self):
+        # Since PR 3 the backend lives in the cache *filename* rather than
+        # the key hash (so a foreign-backend entry is found and reported
+        # instead of silently missed), but entries from different backends
+        # must still never satisfy each other's lookups.
+        from repro.runtime.cache import ResumeCache
+
         spec_density = self._specs("density")[0]
         spec_analytic = self._specs("analytic")[0]
-        assert SweepRunner.cache_key(spec_density, 1, 1.0) != \
+        cache = ResumeCache("unused-dir")
+        assert SweepRunner.cache_key(spec_density, 1, 1.0) == \
             SweepRunner.cache_key(spec_analytic, 1, 1.0)
+        assert cache.path(spec_density, 1, 1.0) != \
+            cache.path(spec_analytic, 1, 1.0)
 
     def test_json_round_trip_preserves_backend(self, tmp_path):
         runner = SweepRunner(self._specs("analytic"), duration=0.3,

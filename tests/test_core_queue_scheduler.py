@@ -377,3 +377,82 @@ class TestSchedulers:
     def test_invalid_weights_rejected(self):
         with pytest.raises(ValueError):
             WeightedFairScheduler(weights={Priority.CK: 0.0})
+
+
+class TestReadyListCache:
+    """The per-lane ready-list cache must be invisible except for speed."""
+
+    def make_queue(self) -> LocalQueue:
+        return LocalQueue(queue_id=int(Priority.CK))
+
+    def test_cache_hit_returns_same_answer(self):
+        queue = self.make_queue()
+        queue.add(make_item(seq=0))
+        queue.add(make_item(seq=1))
+        first = queue.ready_items(5)
+        again = queue.ready_items(5)
+        assert again is first  # served from cache
+        assert [i.queue_id.queue_seq for i in again] == [0, 1]
+
+    def test_add_invalidates(self):
+        queue = self.make_queue()
+        queue.add(make_item(seq=0))
+        assert len(queue.ready_items(0)) == 1
+        queue.add(make_item(seq=1))
+        assert len(queue.ready_items(0)) == 2
+
+    def test_remove_invalidates(self):
+        queue = self.make_queue()
+        queue.add(make_item(seq=0))
+        queue.add(make_item(seq=1))
+        assert len(queue.ready_items(0)) == 2
+        queue.remove(0)
+        assert [i.queue_id.queue_seq for i in queue.ready_items(0)] == [1]
+
+    def test_schedule_cycle_crossing_expires_cache(self):
+        # A waiting item must appear exactly when its schedule cycle passes,
+        # with no mutation in between.
+        queue = self.make_queue()
+        item = make_item(seq=0)
+        item.schedule_cycle = 10
+        queue.add(item)
+        assert queue.ready_items(3) == []
+        assert queue.ready_items(9) == []
+        assert queue.ready_items(10) == [item]
+        assert queue.ready_items(11) == [item]
+
+    def test_suspension_crossing_expires_cache(self):
+        queue = self.make_queue()
+        item = make_item(seq=0)
+        item.suspended_until_cycle = 7
+        queue.add(item)
+        assert queue.ready_items(2) == []
+        assert queue.ready_items(7) == [item]
+
+    def test_acknowledgement_flip_via_dqp_invalidates(self):
+        # Master-origin items sit unacknowledged in the master's queue until
+        # the slave's ACK arrives; the flip must expire the cached (empty)
+        # ready list.
+        engine = SimulationEngine()
+        dqp_a, dqp_b = wire_queues(engine)
+        results = []
+        dqp_a.add(make_request(Priority.CK), schedule_cycle=0,
+                  timeout_cycle=None,
+                  callback=lambda item, error: results.append((item, error)))
+        assert dqp_a.ready_items(0) == []  # ADD still in flight
+        engine.run(until=1.0)
+        (item, error), = results
+        assert error is None
+        assert dqp_a.ready_items(0) == [item]
+
+    def test_cached_list_consistent_with_rebuild(self):
+        queue = self.make_queue()
+        for seq in range(6):
+            item = make_item(seq=seq)
+            item.schedule_cycle = seq * 2
+            queue.add(item)
+        for cycle in range(0, 14):
+            cached = list(queue.ready_items(cycle))
+            queue.invalidate_ready_cache()
+            rebuilt = list(queue.ready_items(cycle))
+            assert cached == rebuilt

@@ -206,3 +206,76 @@ class TestPaperGrid:
         grid = paper_grid(include_mixed=False, include_table1=False,
                           include_robustness=False)
         assert len(grid) == 126  # single-kind grid over both hardware setups
+
+
+class TestCacheReport:
+    """Entries from a different cache version or backend are skipped with a
+    reason, not silently recomputed (PR 3 satellite)."""
+
+    def run_with_report(self, specs, tmp_path, **kwargs):
+        runner = SweepRunner(specs, DURATION, master_seed=3,
+                             cache_dir=tmp_path, **kwargs)
+        result = runner.run()
+        return result, runner.cache_report()
+
+    def test_hits_and_misses_are_reported(self, tmp_path):
+        specs = small_grid(2)
+        _, first = self.run_with_report(specs, tmp_path)
+        assert first.counts() == {"hits": 0, "misses": 2, "skips": 0}
+        _, second = self.run_with_report(specs, tmp_path)
+        assert second.counts() == {"hits": 2, "misses": 0, "skips": 0}
+        assert "2 hit(s)" in second.describe()
+
+    def test_version_mismatch_is_skipped_with_reason(self, tmp_path):
+        import json as json_module
+
+        specs = small_grid(1)
+        self.run_with_report(specs, tmp_path)
+        (entry,) = tmp_path.glob("*.json")
+        data = json_module.loads(entry.read_text())
+        data["cache_version"] = 1
+        entry.write_text(json_module.dumps(data))
+        result, report = self.run_with_report(specs, tmp_path)
+        assert report.counts() == {"hits": 0, "misses": 0, "skips": 1}
+        assert "cache version 1" in report.skips[0].reason
+        assert not result.outcomes[0].from_cache
+        assert result.outcomes[0].ok  # recomputed (and re-cached)
+
+    def test_backend_mismatch_is_skipped_with_reason(self, tmp_path):
+        import dataclasses
+
+        # Pin both backends explicitly so the test is immune to the
+        # REPRO_BACKEND the suite happens to run under.
+        specs = [dataclasses.replace(small_grid(1)[0], backend="density")]
+        self.run_with_report(specs, tmp_path)  # cached under density
+        analytic = [dataclasses.replace(specs[0], backend="analytic")]
+        result, report = self.run_with_report(analytic, tmp_path)
+        assert report.counts()["skips"] == 1
+        assert "'density'" in report.skips[0].reason
+        assert "'analytic'" in report.skips[0].reason
+        assert not result.outcomes[0].from_cache
+        # Both backends now coexist in the cache: each hits its own entry.
+        _, density_again = self.run_with_report(specs, tmp_path)
+        _, analytic_again = self.run_with_report(analytic, tmp_path)
+        assert density_again.counts()["hits"] == 1
+        assert analytic_again.counts()["hits"] == 1
+
+    def test_corrupt_entry_is_skipped_with_reason(self, tmp_path):
+        specs = small_grid(1)
+        self.run_with_report(specs, tmp_path)
+        for entry in tmp_path.glob("*.json"):
+            entry.write_text("{not json")
+        result, report = self.run_with_report(specs, tmp_path)
+        assert report.counts()["skips"] == 1
+        assert "corrupt" in report.skips[0].reason
+        assert result.outcomes[0].ok
+
+    def test_report_resets_between_runs(self, tmp_path):
+        specs = small_grid(1)
+        runner = SweepRunner(specs, DURATION, master_seed=3,
+                             cache_dir=tmp_path)
+        runner.run()
+        assert runner.cache_report().counts()["misses"] == 1
+        runner.run()
+        assert runner.cache_report().counts() == \
+            {"hits": 1, "misses": 0, "skips": 0}
