@@ -1,25 +1,37 @@
 #!/usr/bin/env python3
 """Run a scenario grid as a sharded cluster sweep with work stealing.
 
-The coordinator partitions the grid into shards with a cost model (calibrated
-from a prior sweep result when ``--calibrate-from`` is given), writes the
-plan into ``--cluster-dir``, and runs local worker processes through the
-same filesystem protocol real multi-machine deployments use.  Results stream
-through per-worker sinks (JSONL by default; try ``--sink columnar`` for the
-per-field layout) and merge into a canonical sweep result that is
-field-for-field identical to a serial ``SweepRunner`` run:
+The coordinator partitions the grid into shards with a cost model
+(auto-loaded from a previously recorded ``cost_model.json`` when present,
+or calibrated from an explicit prior sweep result via ``--calibrate-from``),
+writes the plan into ``--cluster-dir``, and runs local worker processes
+through the same filesystem protocol real multi-machine deployments use.
+Results stream through per-worker sinks (JSONL by default; try ``--sink
+columnar`` for the append-only per-field segments) and merge into a
+canonical sweep result that is field-for-field identical to a serial
+``SweepRunner`` run; the merged wall-clocks are recorded back into the cost
+model so the next sweep plans better:
 
     python examples/cluster_sweep.py                        # quick sub-grid
     python examples/cluster_sweep.py --shards 4 --workers 4 --sink columnar
     python examples/cluster_sweep.py --paper-grid --backend analytic \
         --duration 30 --shards 8 --out grid.json
 
-Multi-machine quickstart: run this once with ``--plan-only`` against a
-shared directory, then start one worker per machine with
+Multi-machine over a shared filesystem: run this once with ``--plan-only``
+against a shared directory, then start one worker per machine with
 
     python -m repro.cluster.worker --cluster-dir /shared/dir
 
-and finally re-invoke with ``--merge-only`` to collect the result.
+and finally re-invoke with ``--merge-only`` to collect the result.  For
+clusters *without* a shared filesystem, use the TCP coordinator instead
+(see the README's cluster-architecture section):
+
+    python -m repro.cluster.serve --port 7766 --paper-grid ...
+    python -m repro.cluster.worker --coordinator <host>:7766
+
+Re-planning the same grid into the same directory resumes it (recalibrated
+shard costs do not make it a "different" sweep); planning a genuinely
+different sweep there needs ``--reset`` or a fresh ``--cluster-dir``.
 """
 
 from __future__ import annotations
@@ -99,6 +111,12 @@ def main() -> None:
         specs, args.duration, args.cluster_dir, master_seed=args.seed,
         num_shards=args.shards, sink=args.sink, cost_model=cost_model,
         cache_dir=args.cache_dir or None)
+    if cost_model is None:
+        auto = coordinator.effective_cost_model()
+        if auto is not None:
+            print(f"cost model auto-loaded from "
+                  f"{coordinator.cost_model_path()}: "
+                  f"{auto.observations()} observation(s)")
     plan = coordinator.plan()
     print(f"Planned {len(specs)} scenarios x {args.duration:.2f} simulated "
           f"seconds into {plan.num_shards} shard(s), backend "
@@ -118,7 +136,11 @@ def main() -> None:
     started = time.perf_counter()
     if args.merge_only:
         result = coordinator.merge()
+        recorded = coordinator.record_costs(result)
+        if recorded is not None:
+            print(f"cost model updated at {recorded}")
     else:
+        # run_local records the merged wall-clocks into the cost model.
         result = coordinator.run_local(workers=args.workers,
                                        reset=args.reset)
     wall = time.perf_counter() - started

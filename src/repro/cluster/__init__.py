@@ -1,24 +1,33 @@
-"""Distributed sweep execution: sharding, work stealing, streaming sinks.
+"""Distributed sweep execution: sharding, stealing, sinks, transports.
 
 The package turns :class:`~repro.runtime.sweep.SweepRunner`'s single-machine
 sweep into a cluster subsystem while keeping its defining property intact:
 the merged result of any sharded run is field-for-field identical to a
 serial sweep, because per-scenario seeds depend only on the master seed and
 the scenario's global grid index — never on which worker ran it, in what
-order, or how many times.
+order, over which transport, or how many times.
 
 Pieces (see each module's docstring for the protocol details):
 
 * :mod:`repro.cluster.planner` — deterministic LPT shard planning over a
   pluggable :class:`CostModel` (static heuristic, or calibrated from
-  recorded per-scenario wall-clock).
-* :mod:`repro.cluster.coordinator` — the shared-directory protocol: plan
-  file, lease files with heartbeats, done markers, merge.
-* :mod:`repro.cluster.worker` — the claim / steal / reclaim execution loop
-  (also a CLI: ``python -m repro.cluster.worker``).
+  recorded per-scenario wall-clock and persisted as ``cost_model.json`` so
+  every sweep improves the next plan).
+* :mod:`repro.cluster.coordinator` — planning, progress, merge, and the
+  shared-directory protocol layout (plan file, lease files, done markers).
+* :mod:`repro.cluster.transport` — the protocol's operations as a
+  :class:`Transport` contract: :class:`FilesystemTransport` (shared
+  directory) and :class:`SocketTransport` (length-prefixed JSON frames to a
+  ``python -m repro.cluster.serve`` coordinator; no shared filesystem).
+* :mod:`repro.cluster.worker` — the transport-agnostic claim / steal /
+  reclaim execution loop (also a CLI: ``python -m repro.cluster.worker``).
+* :mod:`repro.cluster.serve` — the TCP coordinator service
+  (``python -m repro.cluster.serve``).
+* :mod:`repro.cluster.scaling` — worker autoscaling: :class:`ScalePolicy`
+  advice from queue depth, applied by a local :class:`ProcessPoolScaler`.
 * :mod:`repro.cluster.sinks` — streaming result sinks (JSON, crash-safe
-  JSONL, dependency-free columnar) that merge back into one canonical
-  :class:`~repro.runtime.sweep.SweepResult`.
+  JSONL, dependency-free chunked columnar) that merge back into one
+  canonical :class:`~repro.runtime.sweep.SweepResult`.
 """
 
 from repro.cluster.coordinator import ClusterCoordinator, ClusterPlan
@@ -28,6 +37,13 @@ from repro.cluster.planner import (
     ShardPlan,
     StaticCostModel,
     plan_shards,
+)
+from repro.cluster.scaling import (
+    ClusterStats,
+    ProcessPoolScaler,
+    QueueDepthPolicy,
+    ScaleAdvice,
+    ScalePolicy,
 )
 from repro.cluster.sinks import (
     ColumnarResultSink,
@@ -39,21 +55,38 @@ from repro.cluster.sinks import (
     merge_results,
     open_sink,
 )
+from repro.cluster.transport import (
+    FilesystemTransport,
+    SocketTransport,
+    TaskSnapshot,
+    Transport,
+    TransportError,
+)
 from repro.cluster.worker import ClusterWorker
 
 __all__ = [
     "ClusterCoordinator",
     "ClusterPlan",
+    "ClusterStats",
     "ClusterWorker",
     "ColumnarResultSink",
     "CostModel",
+    "FilesystemTransport",
     "JsonResultSink",
     "JsonlResultSink",
+    "ProcessPoolScaler",
+    "QueueDepthPolicy",
     "RecordedCostModel",
     "ResultSink",
     "SINK_KINDS",
+    "ScaleAdvice",
+    "ScalePolicy",
     "ShardPlan",
+    "SocketTransport",
     "StaticCostModel",
+    "TaskSnapshot",
+    "Transport",
+    "TransportError",
     "load_results",
     "merge_results",
     "open_sink",

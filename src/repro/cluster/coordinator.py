@@ -41,9 +41,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.cluster.planner import CostModel, ShardPlan, plan_shards
+from repro.cluster.planner import (
+    CostModel,
+    RecordedCostModel,
+    ShardPlan,
+    plan_shards,
+)
 from repro.cluster.sinks import SINK_KINDS, merge_results
-from repro.runtime.cache import CACHE_VERSION, atomic_write_text
+from repro.runtime.cache import CACHE_VERSION, atomic_write_text, cost_model_path
 from repro.runtime.scenarios import ScenarioSpec
 from repro.runtime.sweep import (
     SweepResult,
@@ -143,9 +148,11 @@ class ClusterCoordinator:
     num_shards:
         Shard count — usually the number of machines/workers.
     cost_model:
-        Scenario cost model for the planner (default: static heuristic;
-        pass a calibrated :class:`RecordedCostModel` when prior sweep
-        results exist).
+        Scenario cost model for the planner.  ``None`` auto-loads the
+        persisted ``cost_model.json`` from the cache directory (falling
+        back to the cluster directory, then to the static heuristic) — see
+        :meth:`record_costs`, which writes observed wall-clocks back after
+        every merge so each sweep calibrates the next plan.
     sink:
         Result-sink kind workers write through: ``jsonl`` (default),
         ``json`` or ``columnar``.
@@ -193,12 +200,31 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------ #
     # Planning
     # ------------------------------------------------------------------ #
+    def cost_model_path(self) -> Path:
+        """Where the persistent cost model lives for this coordinator.
+
+        The shared resume-cache directory when one is configured (so every
+        sweep using that cache calibrates every other), the cluster
+        directory otherwise.  Note the file survives :meth:`reset_state` —
+        calibration data is cross-sweep knowledge, not sweep state.
+        """
+        base = self.cache_dir if self.cache_dir is not None else self.cluster_dir
+        return cost_model_path(base)
+
+    def effective_cost_model(self) -> Optional[CostModel]:
+        """The cost model planning actually uses: the explicit one, else a
+        persisted calibrated model if present, else ``None`` (the planner's
+        static heuristic)."""
+        if self.cost_model is not None:
+            return self.cost_model
+        return RecordedCostModel.load_if_present(self.cost_model_path())
+
     def plan(self) -> ShardPlan:
         """The deterministic shard plan (computed once, then cached)."""
         if self._shard_plan is None:
             self._shard_plan = plan_shards(self.specs, self.num_shards,
                                            self.duration,
-                                           cost_model=self.cost_model)
+                                           cost_model=self.effective_cost_model())
         return self._shard_plan
 
     def cluster_plan(self) -> ClusterPlan:
@@ -214,18 +240,35 @@ class ClusterCoordinator:
             shard_plan=self.plan(),
         )
 
+    @staticmethod
+    def _sweep_identity(document: dict) -> dict:
+        """The part of a plan document that determines result validity.
+
+        Existing done markers and sink parts stay valid exactly when the
+        (spec, seed, duration) triple of every global index is unchanged —
+        shard layout, estimated costs (which drift as ``cost_model.json``
+        learns), sink kind (the merge reads any mixture of part formats),
+        lease timeout and cache directory are operational knobs a restart
+        may legitimately change.
+        """
+        return {key: document.get(key)
+                for key in ("master_seed", "duration", "seeds", "specs")}
+
     def write_plan(self, reset: bool = False) -> Path:
         """Write ``plan.json`` and create the protocol directories.
 
-        Idempotent for the *same* sweep: re-planning an identical grid into
-        the directory resumes it (existing done markers and sink parts stay
-        valid because execution is deterministic).  If the directory holds a
-        **different** plan — other scenarios, duration, seed, sink, ... —
-        its leases, done markers and parts describe the *old* sweep, and
-        silently reusing them would hand back the old results; that is
-        refused unless ``reset=True``, which wipes the protocol state
-        first.  Note an unseeded coordinator (``master_seed=None``) draws
-        fresh entropy per instance, so it never matches a prior plan.
+        Idempotent for the *same* sweep: re-planning a grid with the same
+        scenarios, seeds and duration into the directory resumes it
+        (existing done markers and sink parts stay valid because execution
+        is deterministic; the plan file is refreshed so operational
+        changes — recalibrated shard costs, lease timeout — take effect).
+        If the directory holds a **different** sweep — other scenarios,
+        duration, seeds — its leases, done markers and parts describe the
+        *old* sweep, and silently reusing them would hand back the old
+        results; that is refused unless ``reset=True``, which wipes the
+        protocol state first.  Note an unseeded coordinator
+        (``master_seed=None``) draws fresh entropy per instance, so it
+        never matches a prior plan.
         """
         path = self.cluster_dir / PLAN_NAME
         document = self.cluster_plan().to_dict()
@@ -234,7 +277,8 @@ class ClusterCoordinator:
                 existing = json.loads(path.read_text())
             except json.JSONDecodeError:
                 existing = None
-            if existing != document:
+            if (existing is None or self._sweep_identity(existing)
+                    != self._sweep_identity(document)):
                 if not reset:
                     raise RuntimeError(
                         f"{self.cluster_dir} already holds state for a "
@@ -257,12 +301,18 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------ #
     # Progress
     # ------------------------------------------------------------------ #
-    def status(self) -> dict:
-        """Done / leased / pending counts, per shard and overall."""
+    def status(self, include_owners: bool = False) -> dict:
+        """Done / leased / pending counts, per shard and overall.
+
+        With ``include_owners`` the (single) directory scan also collects
+        ``busy_workers`` — the ids behind the live leases — reading each
+        live lease file once.
+        """
         plan = self.plan()
         now = time.time()
         per_shard = []
         totals = {"done": 0, "leased": 0, "stale": 0, "pending": 0}
+        owners: set = set()
         for shard in plan.shards:
             counts = {"done": 0, "leased": 0, "stale": 0, "pending": 0}
             for index in shard:
@@ -275,12 +325,25 @@ class ClusterCoordinator:
                 except OSError:
                     counts["pending"] += 1
                     continue
-                counts["stale" if age >= self.lease_timeout else "leased"] += 1
+                if age >= self.lease_timeout:
+                    counts["stale"] += 1
+                    continue
+                counts["leased"] += 1
+                if include_owners:
+                    try:
+                        owner = json.loads(lease.read_text()).get("worker_id")
+                    except (OSError, json.JSONDecodeError):
+                        owner = None
+                    if owner:
+                        owners.add(owner)
             per_shard.append(counts)
             for key, value in counts.items():
                 totals[key] += value
-        return {"shards": per_shard, "total": totals,
-                "scenarios": len(self.specs)}
+        status = {"shards": per_shard, "total": totals,
+                  "scenarios": len(self.specs)}
+        if include_owners:
+            status["busy_workers"] = sorted(owners)
+        return status
 
     def is_complete(self) -> bool:
         """Whether every scenario has a done marker."""
@@ -312,6 +375,26 @@ class ClusterCoordinator:
             master_seed=self.master_seed,
             duration=self.duration,
         )
+
+    # ------------------------------------------------------------------ #
+    # Cost-model persistence
+    # ------------------------------------------------------------------ #
+    def record_costs(self, result: SweepResult) -> Optional[Path]:
+        """Fold ``result``'s per-scenario wall-clock into the persistent
+        cost model, so the *next* sweep plans from calibrated costs.
+
+        Loads (or creates) ``cost_model.json`` at :meth:`cost_model_path`,
+        absorbs every fresh successful outcome and saves atomically.
+        Returns the path, or ``None`` when the result held no usable
+        observation (e.g. everything came from cache).
+        """
+        path = self.cost_model_path()
+        model = RecordedCostModel.load_if_present(path)
+        if model is None:
+            model = RecordedCostModel()
+        if model.calibrate(result) == 0:
+            return None
+        return model.save(path)
 
     # ------------------------------------------------------------------ #
     # Local execution convenience
@@ -350,7 +433,9 @@ class ClusterCoordinator:
         if failed:
             raise RuntimeError(f"{len(failed)} local worker process(es) "
                                f"exited with codes {failed}")
-        return self.merge()
+        result = self.merge()
+        self.record_costs(result)
+        return result
 
 
 def _run_worker_process(cluster_dir: str, worker_id: str, shard: int) -> None:

@@ -18,18 +18,28 @@ Costs come from a :class:`CostModel`:
   It only needs to *rank* scenarios sensibly, not predict seconds.
 * :class:`RecordedCostModel` — calibrated from the per-scenario wall-clock
   recorded in prior :class:`~repro.runtime.sweep.SweepResult` s, falling back
-  to the static heuristic for scenarios never seen before.
+  to the static heuristic for scenarios never seen before.  It persists to
+  JSON (:meth:`RecordedCostModel.save` / :meth:`RecordedCostModel.load`), so
+  every completed sweep calibrates the *next* plan: the coordinator
+  auto-loads ``cost_model.json`` from its cache/cluster directory and writes
+  the observed wall-clocks back after each merge.
 """
 
 from __future__ import annotations
 
 import heapq
+import json
+import logging
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.runtime.cache import atomic_write_text
 from repro.runtime.scenarios import ScenarioSpec
 from repro.runtime.sweep import ScenarioOutcome, SweepResult
+
+logger = logging.getLogger("repro.cluster.planner")
 
 
 class CostModel(ABC):
@@ -84,6 +94,14 @@ class RecordedCostModel(CostModel):
     scales are commensurable.
     """
 
+    #: Persistence format tag (see :meth:`to_dict`).
+    FORMAT = "cost-model/v1"
+
+    #: Observations kept per (scenario, backend) key: a rolling window so a
+    #: model persisted across hundreds of sweeps stays bounded and tracks
+    #: hardware drift instead of averaging over its whole history.
+    MAX_OBSERVATIONS_PER_KEY = 32
+
     def __init__(self, fallback: Optional[CostModel] = None) -> None:
         self.fallback = fallback or StaticCostModel()
         #: (scenario_name, backend) -> [wall seconds per simulated second].
@@ -124,13 +142,76 @@ class RecordedCostModel(CostModel):
         if outcome.duration <= 0:
             return False
         rate = outcome.wall_time / outcome.duration
-        self._rates.setdefault((outcome.scenario_name, outcome.backend),
-                               []).append(rate)
+        rates = self._rates.setdefault(
+            (outcome.scenario_name, outcome.backend), [])
+        rates.append(rate)
+        if len(rates) > self.MAX_OBSERVATIONS_PER_KEY:
+            del rates[:-self.MAX_OBSERVATIONS_PER_KEY]
         return True
 
     def observations(self) -> int:
         """Total number of recorded observations."""
         return sum(len(rates) for rates in self._rates.values())
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serialisable form: the recorded rates, keyed by scenario
+        name and backend (the fallback heuristic is code, not data)."""
+        return {
+            "format": self.FORMAT,
+            "rates": [
+                {"scenario": name, "backend": backend, "rates": list(rates)}
+                for (name, backend), rates in sorted(self._rates.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict,
+                  fallback: Optional[CostModel] = None,
+                  ) -> "RecordedCostModel":
+        """Rebuild a model serialised with :meth:`to_dict`."""
+        if data.get("format") != cls.FORMAT:
+            raise ValueError(f"not a cost model: format "
+                             f"{data.get('format')!r}")
+        model = cls(fallback=fallback)
+        for entry in data["rates"]:
+            rates = [float(rate) for rate in entry["rates"]]
+            model._rates[(entry["scenario"], entry["backend"])] = (
+                rates[-cls.MAX_OBSERVATIONS_PER_KEY:])
+        return model
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically persist the recorded rates as JSON."""
+        path = Path(path)
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path,
+             fallback: Optional[CostModel] = None) -> "RecordedCostModel":
+        """Load a model persisted with :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()),
+                             fallback=fallback)
+
+    @classmethod
+    def load_if_present(cls, path: str | Path,
+                        fallback: Optional[CostModel] = None,
+                        ) -> Optional["RecordedCostModel"]:
+        """Best-effort load: ``None`` when the file is absent, and a fresh
+        warning-logged ``None`` when it is unreadable — a corrupt cost model
+        must never break planning (the static heuristic still works)."""
+        path = Path(path)
+        if not path.exists():
+            return None
+        try:
+            return cls.load(path, fallback=fallback)
+        except (OSError, ValueError, KeyError, TypeError,
+                json.JSONDecodeError) as error:
+            logger.warning("ignoring unreadable cost model %s: %r",
+                           path, error)
+            return None
 
     # ------------------------------------------------------------------ #
     # Estimation

@@ -1,0 +1,276 @@
+"""Worker autoscaling: pluggable policies plus a local process-pool scaler.
+
+The coordinator (``repro.cluster.serve``) periodically folds its progress
+counters into a :class:`ClusterStats` record and asks a :class:`ScalePolicy`
+for :class:`ScaleAdvice` — *advice*, not action: the policy is deliberately
+decoupled from the mechanism that spawns or retires workers, so the same
+policy can drive a local :class:`ProcessPoolScaler`, a Kubernetes HPA shim,
+or an operator watching ``status`` frames over the wire.
+
+Retiring a worker is deliberately brutal (terminate the process): the lease
+protocol already tolerates workers dying mid-scenario — the stale lease is
+reclaimed by a peer and the scenario re-executes deterministically — so the
+scaler needs no drain handshake.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Progress counters a scaling decision is made from."""
+
+    #: Scenarios with no (live) lease and no done marker.
+    pending: int
+    #: Scenarios behind a live lease (a worker is executing them).
+    leased: int
+    #: Scenarios behind a stale lease (their worker is presumed dead).
+    stale: int
+    #: Scenarios with a done marker.
+    done: int
+    #: Total scenarios in the grid.
+    scenarios: int
+    #: Workers the scaler currently runs (live processes, not historical
+    #: registrations — registrations never expire).
+    workers: int
+    #: Exact idle count when the observer can determine it (the scaler
+    #: matches its process names against the coordinator's busy-worker
+    #: ids); ``None`` falls back to ``workers - leased``, which undercounts
+    #: local idleness whenever *external* workers hold leases too.
+    idle: Optional[int] = None
+
+    @property
+    def outstanding(self) -> int:
+        """Scenarios still needing a worker (pending + stale reclaims)."""
+        return self.pending + self.stale
+
+    @property
+    def idle_workers(self) -> int:
+        """Workers not currently holding a live lease."""
+        if self.idle is not None:
+            return self.idle
+        return max(0, self.workers - self.leased)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every scenario is done."""
+        return self.done >= self.scenarios
+
+
+@dataclass(frozen=True)
+class ScaleAdvice:
+    """What a policy wants done to the worker pool."""
+
+    spawn: int = 0
+    retire: int = 0
+    reason: str = ""
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the advice changes nothing."""
+        return self.spawn == 0 and self.retire == 0
+
+
+class ScalePolicy(ABC):
+    """Maps observed cluster state to spawn/retire advice."""
+
+    @abstractmethod
+    def advise(self, stats: ClusterStats) -> ScaleAdvice:
+        """Advice for the current observation (must be side-effect free)."""
+
+
+class QueueDepthPolicy(ScalePolicy):
+    """Scale on queue depth: one worker per ``backlog_per_worker`` pending
+    scenarios, bounded to ``[min_workers, max_workers]``; retire idle
+    workers once the backlog no longer justifies them, and everyone once
+    the grid is complete.
+
+    ``backlog_per_worker`` trades spawn churn against drain latency: 1.0
+    spawns a worker per outstanding scenario (fastest drain, most churn);
+    larger values keep a deeper per-worker backlog before growing the pool.
+    """
+
+    def __init__(self, min_workers: int = 1, max_workers: int = 8,
+                 backlog_per_worker: float = 2.0) -> None:
+        if min_workers < 0 or max_workers < max(1, min_workers):
+            raise ValueError(f"invalid worker bounds "
+                             f"[{min_workers}, {max_workers}]")
+        if backlog_per_worker <= 0:
+            raise ValueError("backlog_per_worker must be positive")
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.backlog_per_worker = backlog_per_worker
+
+    def desired_workers(self, stats: ClusterStats) -> int:
+        """The pool size the backlog currently justifies."""
+        if stats.complete or stats.outstanding == 0:
+            # Nothing claimable: leased scenarios are already staffed (by
+            # whoever holds their lease), and spawning a worker with no
+            # claimable work would just have it exit immediately — churning
+            # a fresh process (and a permanent registration) every round.
+            return 0
+        wanted = math.ceil(stats.outstanding / self.backlog_per_worker)
+        wanted = min(max(wanted, self.min_workers), self.max_workers)
+        # Never more workers than claimable scenarios.
+        return min(wanted, stats.outstanding)
+
+    def advise(self, stats: ClusterStats) -> ScaleAdvice:
+        desired = self.desired_workers(stats)
+        if desired > stats.workers:
+            return ScaleAdvice(
+                spawn=desired - stats.workers,
+                reason=f"backlog of {stats.outstanding} wants {desired} "
+                       f"worker(s), have {stats.workers}")
+        if desired < stats.workers:
+            if stats.complete:
+                return ScaleAdvice(retire=stats.workers,
+                                   reason="grid complete")
+            # Only retire workers that are actually idle — terminating a
+            # leased worker is safe (stale-lease reclaim) but wasteful.
+            retire = min(stats.workers - desired, stats.idle_workers)
+            if retire:
+                return ScaleAdvice(
+                    retire=retire,
+                    reason=f"backlog of {stats.outstanding} justifies "
+                           f"{desired} worker(s), {stats.idle_workers} idle")
+        return ScaleAdvice(reason="pool size matches backlog")
+
+
+def _scaled_worker_main(coordinator: str, worker_id: str) -> None:
+    """Entry point of an autoscaled worker process (module-level: picklable
+    under spawn contexts)."""
+    from repro.cluster.transport import SocketTransport
+    from repro.cluster.worker import ClusterWorker
+
+    worker = ClusterWorker(SocketTransport(coordinator), worker_id=worker_id)
+    # Exit when idle: the scaler (not the worker) owns pool-size decisions,
+    # and an exited process is the cheapest possible retirement.
+    worker.run(wait_for_stragglers=False)
+
+
+class ProcessPoolScaler:
+    """Applies :class:`ScaleAdvice` by spawning/terminating local worker
+    processes attached to a TCP coordinator.
+
+    This is the reference consumer of the autoscaling hooks: it turns a
+    single machine into an elastic worker pool (CI, the examples, and any
+    box that can reach the coordinator).  Multi-machine deployments can run
+    one scaler per machine, all pointed at the same coordinator.
+    """
+
+    def __init__(self, coordinator: str,
+                 policy: Optional[ScalePolicy] = None,
+                 start_method: Optional[str] = None,
+                 name_prefix: str = "scaled") -> None:
+        self.coordinator = coordinator
+        self.policy = policy if policy is not None else QueueDepthPolicy()
+        if start_method is None:
+            # Not fork: the scaler typically runs inside the coordinator
+            # process, which serves worker connections on threads — forking
+            # a multi-threaded process can deadlock the child on a lock some
+            # other thread held at fork time.  spawn costs ~1s per worker
+            # and is always safe.
+            start_method = "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        self._name_prefix = name_prefix
+        self._spawned = 0
+        self._processes: list[multiprocessing.Process] = []
+
+    # ------------------------------------------------------------------ #
+    # Pool state
+    # ------------------------------------------------------------------ #
+    def reap(self) -> int:
+        """Drop exited processes from the pool; returns the live count."""
+        self._processes = [p for p in self._processes if p.is_alive()]
+        return len(self._processes)
+
+    @property
+    def live_workers(self) -> int:
+        """Currently running worker processes."""
+        return self.reap()
+
+    # ------------------------------------------------------------------ #
+    # Scaling
+    # ------------------------------------------------------------------ #
+    def observe(self, status: dict) -> ClusterStats:
+        """Fold a coordinator ``status`` document into :class:`ClusterStats`.
+
+        The ``workers`` field is this scaler's own live pool (which, unlike
+        the registration count, can shrink), and ``idle`` counts the local
+        processes whose worker ids hold no live lease — external workers'
+        leases must not mask local idleness.
+        """
+        totals = status["total"]
+        alive = self.reap()
+        busy = set(status.get("busy_workers") or ())
+        idle = sum(1 for process in self._processes
+                   if process.name not in busy)
+        return ClusterStats(pending=totals["pending"],
+                            leased=totals["leased"],
+                            stale=totals["stale"],
+                            done=totals["done"],
+                            scenarios=status["scenarios"],
+                            workers=alive,
+                            idle=idle)
+
+    def scale_once(self, status: dict) -> ScaleAdvice:
+        """One observe -> advise -> apply round; returns the advice."""
+        advice = self.policy.advise(self.observe(status))
+        self.apply(advice, busy_workers=status.get("busy_workers"))
+        return advice
+
+    def apply(self, advice: ScaleAdvice,
+              busy_workers: "Optional[list[str]]" = None) -> None:
+        """Spawn/terminate processes as advised.
+
+        ``busy_workers`` (worker ids holding live leases, as reported in a
+        coordinator ``status``) lets retirement target idle processes
+        first — terminating a leased worker is protocol-safe but stalls its
+        scenario for a lease timeout.
+        """
+        for _ in range(advice.spawn):
+            self._spawn_one()
+        if advice.retire:
+            self._retire(advice.retire, busy_workers=busy_workers)
+
+    def _spawn_one(self) -> None:
+        self._spawned += 1
+        worker_id = f"{self._name_prefix}-{self._spawned}"
+        process = self._context.Process(
+            target=_scaled_worker_main,
+            args=(self.coordinator, worker_id),
+            name=worker_id, daemon=False)
+        process.start()
+        self._processes.append(process)
+
+    def _retire(self, count: int,
+                busy_workers: "Optional[list[str]]" = None) -> int:
+        """Terminate up to ``count`` workers — idle ones first (by process
+        name, which is the worker id), newest first within each class.
+
+        Terminating a leased worker is still safe: its lease goes stale and
+        a peer reclaims the scenario (deterministic re-execution) — it just
+        costs a lease timeout, which preferring idle processes avoids.
+        """
+        self.reap()
+        busy = set(busy_workers or ())
+        idle = [p for p in self._processes if p.name not in busy]
+        leased = [p for p in self._processes if p.name in busy]
+        order = list(reversed(idle)) + list(reversed(leased))
+        retired = 0
+        for process in order[:count]:
+            self._processes.remove(process)
+            process.terminate()
+            process.join(timeout=10.0)
+            retired += 1
+        return retired
+
+    def shutdown(self) -> None:
+        """Terminate every remaining worker process."""
+        self._retire(len(self._processes))

@@ -16,10 +16,12 @@ returning means the outcome survives a worker crash.  Three formats:
     partial trailing line, which the loader detects and drops.
 
 ``columnar``
-    A directory of per-field JSON arrays plus a manifest — dependency-free
-    columnar storage for large grids: reading one metric across thousands
-    of scenarios touches one small file instead of parsing every outcome.
-    The ``summary`` is exploded into one column per metric field.
+    A directory of append-only per-field column segments plus a
+    merge-on-read manifest — dependency-free columnar storage for large
+    grids: reading one metric across thousands of scenarios touches a few
+    small files instead of parsing every outcome, and each flush seals only
+    the new rows into a fresh segment instead of rewriting the part.  The
+    ``summary`` is exploded into one column per metric field.
 
 All three merge — in any mixture — into a canonical
 :class:`~repro.runtime.sweep.SweepResult` via :func:`merge_results`, ordered
@@ -157,25 +159,36 @@ class JsonlResultSink(ResultSink):
 
 
 class ColumnarResultSink(ResultSink):
-    """Per-field JSON arrays plus a manifest, in a part *directory*.
+    """Append-only column *segments* plus a merge-on-read manifest.
 
     Layout::
 
         part.columnar/
-          manifest.json            # format, row count, column list, seed
-          columns/index.json       # [3, 17, 4, ...]
-          columns/status.json      # ["ok", "ok", ...]
-          columns/summary.throughput.json
+          manifest.json            # format, segment list, column list, seed
+          seg-000000/index.json    # [3, 17, 4, ...]   (rows of segment 0)
+          seg-000000/status.json   # ["ok", "ok", ...]
+          seg-000000/summary.throughput.json
+          seg-000001/...           # rows flushed later
           ...
 
     Rows append in completion order; the global index column carries the
     ordering needed at merge time.  Every ``flush_every`` writes (default 1,
-    i.e. durable per write) the columns are rewritten atomically, manifest
-    last — a crash leaves the previous consistent snapshot plus at most the
-    rows since the last flush, which their workers' leases will recycle.
+    i.e. durable per write) the rows accumulated since the last flush are
+    **sealed into a brand-new segment** — the v1 format instead rewrote
+    every column in full on every flush, an O(n²) lifetime cost that
+    dominated huge grids.  Readers merge the segments in manifest order
+    (concatenation), so the loaded rows are identical to what a single
+    monolithic part would hold.  The manifest is written last: a crash
+    mid-flush leaves an orphaned, unlisted segment directory that the next
+    flush simply overwrites, plus at most the unflushed rows, which their
+    workers' leases will recycle.
+
+    ``load_results`` still reads v1 parts (a v1 manifest is treated as one
+    implicit segment named ``columns``).
     """
 
     kind = "columnar"
+    FORMAT = "sweep-columnar/v2"
 
     def __init__(self, path: str | Path, master_seed: Optional[int] = None,
                  duration: float = 0.0, flush_every: int = 1) -> None:
@@ -183,48 +196,55 @@ class ColumnarResultSink(ResultSink):
         if flush_every < 1:
             raise ValueError("flush_every must be >= 1")
         self.flush_every = flush_every
-        self._rows: list[tuple[int, ScenarioOutcome]] = []
-        self._unflushed = 0
-        if (self.path / "manifest.json").exists():  # resume a part
-            self._rows = list(_load_columnar_entries(self.path))
+        #: Rows accumulated since the last flush (the open segment).
+        self._pending: list[tuple[int, ScenarioOutcome]] = []
+        #: Sealed segments, in append order: ``{"name": ..., "rows": n}``.
+        self._segments: list[dict] = []
+        manifest_path = self.path / "manifest.json"
+        if manifest_path.exists():  # resume a part: adopt sealed segments
+            manifest = json.loads(manifest_path.read_text())
+            self._segments = _manifest_segments(manifest)
 
     def write(self, index: int, outcome: ScenarioOutcome) -> None:
-        self._rows.append((index, outcome))
-        self._unflushed += 1
-        if self._unflushed >= self.flush_every:
+        self._pending.append((index, outcome))
+        if len(self._pending) >= self.flush_every:
             self.flush()
 
     def flush(self) -> None:
-        """Rewrite all column files and then the manifest, atomically."""
-        columns_dir = self.path / "columns"
-        columns_dir.mkdir(parents=True, exist_ok=True)
-        columns: dict[str, list] = {"index": [i for i, _ in self._rows]}
-        for name in _OUTCOME_FIELDS:
-            columns[name] = [getattr(outcome, name)
-                             for _, outcome in self._rows]
-        for name in _SUMMARY_FIELDS:
-            columns[f"summary.{name}"] = [
+        """Seal the pending rows into a new segment, then the manifest."""
+        if not self._pending:
+            return
+        name = f"seg-{len(self._segments):06d}"
+        segment_dir = self.path / name
+        segment_dir.mkdir(parents=True, exist_ok=True)
+        columns: dict[str, list] = {"index": [i for i, _ in self._pending]}
+        for field in _OUTCOME_FIELDS:
+            columns[field] = [getattr(outcome, field)
+                              for _, outcome in self._pending]
+        for field in _SUMMARY_FIELDS:
+            columns[f"summary.{field}"] = [
                 None if outcome.summary is None
-                else getattr(outcome.summary, name)
-                for _, outcome in self._rows]
-        for name, values in columns.items():
-            atomic_write_text(columns_dir / f"{name}.json",
+                else getattr(outcome.summary, field)
+                for _, outcome in self._pending]
+        for field, values in columns.items():
+            atomic_write_text(segment_dir / f"{field}.json",
                               json.dumps(values))
+        self._segments.append({"name": name, "rows": len(self._pending)})
         manifest = {
-            "format": "sweep-columnar/v1",
+            "format": self.FORMAT,
             "cache_version": CACHE_VERSION,
             "master_seed": self.master_seed,
             "duration": self.duration,
-            "rows": len(self._rows),
+            "rows": sum(segment["rows"] for segment in self._segments),
+            "segments": list(self._segments),
             "columns": sorted(columns),
         }
         atomic_write_text(self.path / "manifest.json",
                           json.dumps(manifest, indent=2))
-        self._unflushed = 0
+        self._pending.clear()
 
     def close(self) -> None:
-        if self._unflushed:
-            self.flush()
+        self.flush()
 
 
 #: kind -> sink class.
@@ -287,16 +307,21 @@ def _load_jsonl_entries(path: Path) -> list[tuple[int, ScenarioOutcome]]:
     return entries
 
 
-def _load_columnar_entries(path: Path) -> list[tuple[int, ScenarioOutcome]]:
-    manifest = json.loads((path / "manifest.json").read_text())
-    rows = manifest["rows"]
-    columns_dir = path / "columns"
+def _manifest_segments(manifest: dict) -> list[dict]:
+    """Segment list of a columnar manifest (v2), or the single implicit
+    segment a v1 manifest describes (its columns live under ``columns/``)."""
+    if "segments" in manifest:
+        return [dict(segment) for segment in manifest["segments"]]
+    return [{"name": "columns", "rows": manifest["rows"]}]
 
+
+def _load_columnar_segment(path: Path, segment_dir: Path, rows: int,
+                           ) -> list[tuple[int, ScenarioOutcome]]:
     def column(name: str) -> list:
-        values = json.loads((columns_dir / f"{name}.json").read_text())
+        values = json.loads((segment_dir / f"{name}.json").read_text())
         if len(values) < rows:
-            raise SinkError(f"{path}: column {name} has {len(values)} rows, "
-                            f"manifest says {rows}")
+            raise SinkError(f"{path}: column {segment_dir.name}/{name} has "
+                            f"{len(values)} rows, manifest says {rows}")
         # A crash between column flushes can leave a column *longer* than
         # the manifest (manifest is written last): trust the manifest.
         return values[:rows]
@@ -315,6 +340,16 @@ def _load_columnar_entries(path: Path) -> list[tuple[int, ScenarioOutcome]]:
         else:
             data["summary"] = None
         entries.append((indices[row], ScenarioOutcome.from_dict(data)))
+    return entries
+
+
+def _load_columnar_entries(path: Path) -> list[tuple[int, ScenarioOutcome]]:
+    """Merge-on-read: concatenate the manifest's segments in append order."""
+    manifest = json.loads((path / "manifest.json").read_text())
+    entries: list[tuple[int, ScenarioOutcome]] = []
+    for segment in _manifest_segments(manifest):
+        entries.extend(_load_columnar_segment(path, path / segment["name"],
+                                              segment["rows"]))
     return entries
 
 

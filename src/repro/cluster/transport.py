@@ -1,0 +1,502 @@
+"""Transport abstraction for the cluster coordinator/worker protocol.
+
+PR 3's shard/lease/steal protocol was defined directly in terms of files in
+a shared directory.  This module lifts the protocol's *operations* — fetch
+the plan, register a worker, snapshot task state, claim a lease (including
+stale-lease takeover), heartbeat, submit a durable result — into a
+:class:`Transport` contract that the planner/worker/stealing/lease machinery
+runs against unchanged.  Two implementations:
+
+:class:`FilesystemTransport`
+    The shared-directory protocol, verbatim: atomic ``O_CREAT | O_EXCL``
+    lease creation, mtime heartbeats, tmp-and-rename takeovers and done
+    markers, per-worker sink parts.  A sharded sweep through this transport
+    is bit-identical to PR 3's behaviour.
+
+:class:`SocketTransport`
+    The same operations as length-prefixed JSON frames over one TCP
+    connection to a ``python -m repro.cluster.serve`` coordinator.  The
+    server answers every frame by applying the operation to its *local*
+    :class:`FilesystemTransport` — leases are granted atomically server-side,
+    results stream into the server's :class:`~repro.cluster.sinks.ResultSink`
+    parts, and coordinator state (leases, done markers, parts) stays durable
+    across a coordinator restart.  Workers need no shared filesystem at all.
+
+Because both transports implement one contract over the *same* authoritative
+semantics, the merged :class:`~repro.runtime.sweep.SweepResult` of a sweep is
+field-for-field identical regardless of transport, shard count, stealing
+order or crash history — execution determinism depends only on
+(spec, seed, backend), never on the wire.
+
+Wire format (``SocketTransport`` <-> ``repro.cluster.serve``): each frame is
+a 4-byte big-endian length prefix followed by one UTF-8 JSON object.
+Requests carry ``{"op": <name>, ...}``; responses carry ``{"ok": true, ...}``
+or ``{"ok": false, "error": <message>}``.  One request is answered by exactly
+one response, in order, per connection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.cluster.coordinator import (
+    RESULTS_DIR,
+    WORKERS_DIR,
+    ClusterPlan,
+    atomic_write_json,
+    done_path,
+    lease_path,
+)
+from repro.cluster.sinks import ResultSink, open_sink, part_name
+from repro.runtime.sweep import ScenarioOutcome
+
+
+class TransportError(RuntimeError):
+    """A transport operation failed (protocol error, connection loss, ...)."""
+
+
+# --------------------------------------------------------------------------- #
+# Frame codec (shared by SocketTransport and repro.cluster.serve)
+# --------------------------------------------------------------------------- #
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame (a submit carries one outcome — far below this).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Send one length-prefixed JSON frame."""
+    body = json.dumps(payload).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {len(body)} bytes exceeds the "
+                             f"{MAX_FRAME_BYTES}-byte limit")
+    sock.sendall(_FRAME_HEADER.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Receive one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _FRAME_HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"peer announced a {length}-byte frame, "
+                             f"limit is {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length, allow_eof=False)
+    try:
+        frame = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"undecodable frame: {error}") from None
+    if not isinstance(frame, dict):
+        raise TransportError(f"frame is not an object: {type(frame).__name__}")
+    return frame
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                allow_eof: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# --------------------------------------------------------------------------- #
+# Task-state snapshot
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TaskSnapshot:
+    """Point-in-time view of every scenario's lease/done state.
+
+    Workers select claim candidates from a snapshot (one bulk operation —
+    one network round trip on the socket transport instead of two per
+    scenario) and then validate each choice with the authoritative, atomic
+    :meth:`Transport.try_claim`; a stale snapshot therefore costs at most a
+    refused claim, never a double execution.
+    """
+
+    done: frozenset[int]
+    #: Global index -> seconds since the lease's last heartbeat.  Absent
+    #: indices are unleased.
+    lease_ages: Mapping[int, float] = field(default_factory=dict)
+
+    def is_done(self, index: int) -> bool:
+        """Whether ``index`` has a done marker."""
+        return index in self.done
+
+    def is_available(self, index: int, lease_timeout: float) -> bool:
+        """Pending: not done and not covered by a live lease."""
+        if index in self.done:
+            return False
+        age = self.lease_ages.get(index)
+        return age is None or age >= lease_timeout
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (JSON keys become strings)."""
+        return {"done": sorted(self.done),
+                "lease_ages": {str(index): age
+                               for index, age in self.lease_ages.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskSnapshot":
+        """Rebuild a snapshot received over the wire."""
+        return cls(done=frozenset(data["done"]),
+                   lease_ages={int(index): age
+                               for index, age in data["lease_ages"].items()})
+
+
+# --------------------------------------------------------------------------- #
+# Contract
+# --------------------------------------------------------------------------- #
+class Transport(ABC):
+    """The coordinator/worker protocol, independent of how bytes move.
+
+    Implementations must guarantee:
+
+    * :meth:`try_claim` is **atomic**: of any number of concurrent claims for
+      one index, at most one is granted — and a grant on an index whose lease
+      is stale *takes the lease over* (the crashed owner's heartbeats, if it
+      resurrects, report the lease as lost).
+    * :meth:`submit_result` is **durable before it returns**, and records the
+      result *before* the done marker — a crash between the two re-executes
+      the scenario (harmless, deterministic) rather than losing it.
+    """
+
+    #: Transport name used in logs and tests.
+    kind: str = "base"
+
+    #: The parsed cluster plan every worker executes from.
+    plan: ClusterPlan
+
+    @abstractmethod
+    def register_worker(self, worker_id: str, shard: Optional[int]) -> int:
+        """Register ``worker_id`` and return its home shard (auto-assigned
+        round-robin over existing registrations when ``shard`` is None)."""
+
+    @abstractmethod
+    def snapshot(self) -> TaskSnapshot:
+        """Current done/lease state of every scenario."""
+
+    @abstractmethod
+    def try_claim(self, index: int, worker_id: str) -> bool:
+        """Atomically try to acquire the lease for ``index``."""
+
+    @abstractmethod
+    def heartbeat(self, index: int, worker_id: str) -> bool:
+        """Refresh the lease; ``False`` once the lease is no longer owned by
+        ``worker_id`` (taken over after going stale) — stop beating then."""
+
+    @abstractmethod
+    def submit_result(self, worker_id: str, index: int,
+                      outcome: ScenarioOutcome) -> None:
+        """Durably record ``outcome`` and then mark ``index`` done."""
+
+    def close(self) -> None:
+        """Release connections / flush sinks."""
+
+
+# --------------------------------------------------------------------------- #
+# Filesystem implementation (the PR 3 protocol, extracted)
+# --------------------------------------------------------------------------- #
+class FilesystemTransport(Transport):
+    """Shared-directory transport — every operation is an atomic file op.
+
+    This is the protocol :mod:`repro.cluster.coordinator` documents, moved
+    out of ``ClusterWorker`` so the worker loop is transport-agnostic.  It is
+    also the authoritative state store behind ``repro.cluster.serve``: the
+    TCP coordinator applies every remote operation to a local instance, so
+    both transports share one battle-tested semantics.
+    """
+
+    kind = "filesystem"
+
+    def __init__(self, cluster_dir: str | Path,
+                 plan: Optional[ClusterPlan] = None) -> None:
+        self.cluster_dir = Path(cluster_dir)
+        self.plan = plan if plan is not None else ClusterPlan.load(cluster_dir)
+        self._sinks: dict[str, ResultSink] = {}
+        # Reentrant: submit_result holds it across the sink lookup *and* the
+        # write — when this instance backs the TCP coordinator, a client
+        # that timed out and reconnected can have two server threads
+        # submitting under the same worker id, and interleaved writes on
+        # one sink would tear the part.
+        self._lock = threading.RLock()
+
+    # -- registration -------------------------------------------------- #
+    def register_worker(self, worker_id: str, shard: Optional[int]) -> int:
+        workers_dir = self.cluster_dir / WORKERS_DIR
+        num_shards = self.plan.shard_plan.num_shards
+        with self._lock:
+            workers_dir.mkdir(parents=True, exist_ok=True)
+            if shard is None:
+                existing = len(list(workers_dir.glob("*.json")))
+                shard = existing % num_shards
+            if not 0 <= shard < num_shards:
+                raise TransportError(f"shard {shard} out of range "
+                                     f"(plan has {num_shards} shards)")
+            atomic_write_json(workers_dir / f"{worker_id}.json",
+                              {"worker_id": worker_id, "shard": shard,
+                               "registered_at": time.time()})
+        return shard
+
+    def registered_workers(self) -> int:
+        """Number of worker registrations (never decreases)."""
+        workers_dir = self.cluster_dir / WORKERS_DIR
+        if not workers_dir.exists():
+            return 0
+        return len(list(workers_dir.glob("*.json")))
+
+    # -- task state ---------------------------------------------------- #
+    def _is_done(self, index: int) -> bool:
+        return done_path(self.cluster_dir, index).exists()
+
+    def _lease_age(self, index: int) -> Optional[float]:
+        try:
+            return time.time() - lease_path(self.cluster_dir,
+                                            index).stat().st_mtime
+        except OSError:
+            return None
+
+    def snapshot(self) -> TaskSnapshot:
+        done = set()
+        lease_ages = {}
+        for index in range(len(self.plan.specs)):
+            if self._is_done(index):
+                done.add(index)
+                continue
+            age = self._lease_age(index)
+            if age is not None:
+                lease_ages[index] = age
+        return TaskSnapshot(done=frozenset(done), lease_ages=lease_ages)
+
+    # -- claiming ------------------------------------------------------ #
+    def try_claim(self, index: int, worker_id: str) -> bool:
+        lease = lease_path(self.cluster_dir, index)
+        lease.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"worker_id": worker_id,
+                              "claimed_at": time.time()})
+        try:
+            descriptor = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            age = self._lease_age(index)
+            if age is None:
+                # Lease vanished between the existence check and now —
+                # retry through the normal candidate loop.
+                return False
+            if age < self.plan.lease_timeout or self._is_done(index):
+                return False
+            # Stale lease: take it over atomically.  If two workers race
+            # here both takeovers "succeed" and the scenario runs twice —
+            # deterministic execution makes that merely wasteful, and the
+            # merge dedupes the identical records.
+            tmp = lease.with_name(f"{lease.name}.{worker_id}.tmp")
+            tmp.write_text(payload)
+            tmp.replace(lease)
+            return not self._is_done(index)
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(payload)
+        return True
+
+    def heartbeat(self, index: int, worker_id: str) -> bool:
+        lease = lease_path(self.cluster_dir, index)
+        try:
+            owner = json.loads(lease.read_text()).get("worker_id")
+        except (OSError, json.JSONDecodeError):
+            return False  # lease gone or torn: stop beating
+        if owner != worker_id:
+            return False  # lease was taken over while we were presumed dead
+        try:
+            os.utime(lease)
+        except OSError:
+            return False
+        return True
+
+    # -- results ------------------------------------------------------- #
+    def _sink_for(self, worker_id: str) -> ResultSink:
+        with self._lock:
+            sink = self._sinks.get(worker_id)
+            if sink is None:
+                sink = open_sink(
+                    self.plan.sink,
+                    self.cluster_dir / RESULTS_DIR
+                    / part_name(self.plan.sink, worker_id),
+                    master_seed=self.plan.master_seed,
+                    duration=self.plan.duration,
+                )
+                self._sinks[worker_id] = sink
+            return sink
+
+    def submit_result(self, worker_id: str, index: int,
+                      outcome: ScenarioOutcome) -> None:
+        with self._lock:
+            self._sink_for(worker_id).write(index, outcome)
+            atomic_write_json(done_path(self.cluster_dir, index),
+                              {"index": index, "worker_id": worker_id,
+                               "wall_time": outcome.wall_time,
+                               "finished_at": time.time()})
+
+    def close(self) -> None:
+        with self._lock:
+            for sink in self._sinks.values():
+                sink.close()
+            self._sinks.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Socket implementation (client side; the server lives in repro.cluster.serve)
+# --------------------------------------------------------------------------- #
+def parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
+    """Parse ``host:port`` (or pass a ``(host, port)`` pair through)."""
+    if isinstance(address, tuple):
+        return address[0], int(address[1])
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host or "127.0.0.1", int(port)
+
+
+class SocketTransport(Transport):
+    """TCP client transport towards a ``repro.cluster.serve`` coordinator.
+
+    One connection, one in-flight request at a time (a lock serialises the
+    worker thread and its heartbeat thread).  The plan is fetched once at
+    connect time, so a worker is fully provisioned by the address alone —
+    no shared filesystem, no plan file, no result directory.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` or a ``(host, port)`` tuple.
+    timeout:
+        Per-operation socket timeout in seconds.
+    connect_retry:
+        Keep retrying the initial connection for this many seconds (covers
+        workers racing a coordinator that is still starting up).
+    """
+
+    kind = "socket"
+
+    def __init__(self, address: "str | tuple[str, int]",
+                 timeout: float = 60.0,
+                 connect_retry: float = 10.0) -> None:
+        self.address = parse_address(address)
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._closed = False
+        self._sock: Optional[socket.socket] = self._connect(connect_retry)
+        self.plan = ClusterPlan.from_dict(self.request("plan")["plan"])
+
+    def _connect(self, connect_retry: float) -> socket.socket:
+        deadline = time.monotonic() + max(0.0, connect_retry)
+        while True:
+            try:
+                sock = socket.create_connection(self.address,
+                                                timeout=self.timeout)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise TransportError(
+                        f"cannot connect to coordinator at "
+                        f"{self.address[0]}:{self.address[1]}: {error}"
+                    ) from None
+                time.sleep(0.2)
+
+    def _drop_sock_locked(self) -> None:
+        """Invalidate the connection (caller holds the lock).
+
+        Any I/O failure mid-request leaves the one-request-one-response
+        framing in an unknown state (e.g. a timed-out heartbeat whose
+        response is still in flight would be read as the *next* request's
+        response), so the socket must never be reused after an error — the
+        next request opens a fresh, in-sync connection.
+        """
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def request(self, op: str, **payload) -> dict:
+        """Send one operation frame and return the (ok) response.
+
+        Reconnects on demand after an earlier request dropped the
+        connection — server-side state (registration, leases, parts) is
+        keyed on worker id, not on the connection, so a fresh socket
+        resumes transparently.
+        """
+        frame = {"op": op, **payload}
+        with self._lock:
+            if self._closed:
+                raise TransportError("transport is closed")
+            if self._sock is None:
+                self._sock = self._connect(connect_retry=2.0)
+            try:
+                send_frame(self._sock, frame)
+                response = recv_frame(self._sock)
+            except (OSError, TransportError) as error:
+                self._drop_sock_locked()
+                raise TransportError(f"coordinator connection lost "
+                                     f"during {op!r}: {error}") from None
+            if response is None:
+                self._drop_sock_locked()
+                raise TransportError(f"coordinator closed the connection "
+                                     f"during {op!r}")
+        if not response.get("ok"):
+            raise TransportError(response.get("error", f"{op!r} failed"))
+        return response
+
+    # -- protocol operations ------------------------------------------- #
+    def register_worker(self, worker_id: str, shard: Optional[int]) -> int:
+        return int(self.request("register", worker_id=worker_id,
+                                shard=shard)["shard"])
+
+    def snapshot(self) -> TaskSnapshot:
+        return TaskSnapshot.from_dict(self.request("snapshot")["snapshot"])
+
+    def try_claim(self, index: int, worker_id: str) -> bool:
+        return bool(self.request("claim", index=index,
+                                 worker_id=worker_id)["granted"])
+
+    def heartbeat(self, index: int, worker_id: str) -> bool:
+        try:
+            return bool(self.request("heartbeat", index=index,
+                                     worker_id=worker_id)["alive"])
+        except TransportError:
+            # Unknown is not "lost": a transient outage (coordinator
+            # restart, network blip) must not silence the heartbeat for
+            # good — that would let the lease of a *healthy* worker go
+            # stale and its scenario run twice fleet-wide.  Keep beating;
+            # request() reconnects on the next attempt, and a genuine
+            # takeover is reported authoritatively as ``alive: False``.
+            return True
+
+    def submit_result(self, worker_id: str, index: int,
+                      outcome: ScenarioOutcome) -> None:
+        self.request("submit", worker_id=worker_id, index=index,
+                     outcome=outcome.to_dict())
+
+    def status(self) -> dict:
+        """Coordinator-side progress counters (monitoring / autoscaling)."""
+        return self.request("status")["status"]
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._drop_sock_locked()

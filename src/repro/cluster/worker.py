@@ -1,59 +1,71 @@
-"""Worker side of the filesystem cluster protocol.
+"""Worker side of the cluster protocol, over any transport.
 
-A worker is stateless: point it at a cluster directory and it rebuilds the
-scenario list, seeds and shard plan from ``plan.json``, then loops:
+A worker is stateless: point it at a cluster directory (filesystem
+transport) or a coordinator address (socket transport) and it rebuilds the
+scenario list, seeds and shard plan from the plan document, then loops:
 
 1. **Claim** the next pending scenario of its own shard (front to back — the
-   planner puts the costliest first).  Claims are atomic lease-file creation;
-   losing a race just moves on to the next candidate.
+   planner puts the costliest first).  Claims go through the transport's
+   atomic :meth:`~repro.cluster.transport.Transport.try_claim`; losing a race
+   just moves on to the next candidate.
 2. **Steal** when its shard is exhausted: victims are ranked by estimated
    *remaining* cost (the slowest shard is robbed first) and scenarios are
    taken from the back of the victim's list (the cheapest remaining work),
    so stragglers never gate the grid while the victim keeps its expensive
    head-of-line work.
 3. **Reclaim** scenarios whose lease heartbeat went stale — a worker died
-   mid-scenario.  Takeover is an atomic rename; if two workers race, both
-   re-execute the scenario, which is harmless: execution is deterministic,
-   so the duplicate sink records are identical and the merge dedupes them.
+   mid-scenario.  Takeover is atomic inside the transport; if two workers
+   race, both re-execute the scenario, which is harmless: execution is
+   deterministic, so the duplicate sink records are identical and the merge
+   dedupes them.
 
-While a scenario runs, a daemon heartbeat thread refreshes the lease mtime
-at a third of the lease timeout, so long scenarios are never mistaken for
-dead workers.  Outcomes stream through the worker's private sink part;
-the ``done`` marker is written only after the sink write returned (i.e. the
-outcome is durable), which makes crash-and-resume safe at every point.
+While a scenario runs, a daemon heartbeat thread refreshes the lease through
+the transport at a third of the lease timeout, so long scenarios are never
+mistaken for dead workers; a heartbeat that reports the lease lost (taken
+over while this worker was presumed dead) stops beating.  Outcomes stream
+through :meth:`~repro.cluster.transport.Transport.submit_result`, which is
+durable before the done marker exists — crash-and-resume is safe at every
+point.
 
-``python -m repro.cluster.worker --cluster-dir DIR`` runs one worker from
-the command line — that is the whole multi-machine deployment story.
+CLI — the whole multi-machine deployment story::
+
+    python -m repro.cluster.worker --cluster-dir DIR          # shared filesystem
+    python -m repro.cluster.worker --coordinator HOST:PORT    # plain TCP
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import logging
 import os
 import threading
 import time
 from pathlib import Path
 from typing import Callable, Optional
 
-from repro.cluster.coordinator import (
-    RESULTS_DIR,
-    WORKERS_DIR,
-    ClusterPlan,
-    atomic_write_json,
-    done_path,
-    lease_path,
+from repro.cluster.transport import (
+    FilesystemTransport,
+    SocketTransport,
+    TaskSnapshot,
+    Transport,
+    TransportError,
 )
-from repro.cluster.sinks import open_sink, part_name
 from repro.runtime.cache import CacheReport, CacheSkip, ResumeCache
 from repro.runtime.sweep import ScenarioOutcome, execute_scenario
 
+logger = logging.getLogger("repro.cluster.worker")
+
 
 class _Heartbeat:
-    """Daemon thread refreshing a lease's mtime while a scenario runs."""
+    """Daemon thread refreshing a lease through the transport while a
+    scenario runs.  Stops on its own once the transport reports the lease
+    lost (stale takeover by a peer)."""
 
-    def __init__(self, lease: Path, interval: float) -> None:
-        self._lease = lease
+    def __init__(self, transport: Transport, index: int, worker_id: str,
+                 interval: float) -> None:
+        self._transport = transport
+        self._index = index
+        self._worker_id = worker_id
         self._interval = max(interval, 0.05)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
@@ -68,23 +80,21 @@ class _Heartbeat:
 
     def _beat(self) -> None:
         while not self._stop.wait(self._interval):
-            try:
-                os.utime(self._lease)
-            except OSError:
+            if not self._transport.heartbeat(self._index, self._worker_id):
                 return  # lease was taken over or cleaned up: stop beating
 
 
 class ClusterWorker:
-    """Executes scenarios from a shared cluster directory.
+    """Executes scenarios from a cluster plan over any transport.
 
     Parameters
     ----------
-    cluster_dir:
-        Directory a :class:`~repro.cluster.coordinator.ClusterCoordinator`
-        wrote a plan into.
+    cluster:
+        A :class:`~repro.cluster.transport.Transport`, or a cluster
+        directory path (opened as a :class:`FilesystemTransport`).
     worker_id:
         Unique name; used for the sink part, lease ownership and the
-        registration file.  Defaults to ``<hostname>-<pid>``.
+        registration.  Defaults to ``<hostname>-<pid>``.
     shard:
         Home shard id.  ``None`` auto-assigns round-robin over the existing
         worker registrations.
@@ -96,17 +106,25 @@ class ClusterWorker:
         a machine lost mid-scenario.
     on_outcome:
         Optional progress callback, as in ``SweepRunner``.
+    cache_dir:
+        Resume-cache directory override.  Defaults to the plan's
+        ``cache_dir`` (shared-filesystem deployments); socket workers
+        typically pass a machine-local directory or ``None``.
     """
 
-    def __init__(self, cluster_dir: str | Path,
+    def __init__(self, cluster: "Transport | str | Path",
                  worker_id: Optional[str] = None,
                  shard: Optional[int] = None,
                  steal: bool = True,
                  crash_after_claims: Optional[int] = None,
                  on_outcome: Optional[Callable[[ScenarioOutcome], None]] = None,
+                 cache_dir: "Optional[str | Path]" = ...,
                  ) -> None:
-        self.cluster_dir = Path(cluster_dir)
-        self.plan = ClusterPlan.load(self.cluster_dir)
+        if isinstance(cluster, Transport):
+            self.transport = cluster
+        else:
+            self.transport = FilesystemTransport(cluster)
+        self.plan = self.transport.plan
         if worker_id is None:
             worker_id = f"{os.uname().nodename}-{os.getpid()}"
         self.worker_id = worker_id
@@ -117,67 +135,28 @@ class ClusterWorker:
         self.executed: list[int] = []
         self.cache_report = CacheReport()
         self._claims = 0
-        self._cache = (None if self.plan.cache_dir is None
-                       else ResumeCache(self.plan.cache_dir))
-        self.shard = self._register(shard)
-        self.sink = open_sink(
-            self.plan.sink,
-            self.cluster_dir / RESULTS_DIR / part_name(self.plan.sink,
-                                                       self.worker_id),
-            master_seed=self.plan.master_seed,
-            duration=self.plan.duration,
-        )
-
-    # ------------------------------------------------------------------ #
-    # Registration / shard assignment
-    # ------------------------------------------------------------------ #
-    def _register(self, shard: Optional[int]) -> int:
-        workers_dir = self.cluster_dir / WORKERS_DIR
-        workers_dir.mkdir(parents=True, exist_ok=True)
-        num_shards = self.plan.shard_plan.num_shards
-        if shard is None:
-            existing = len(list(workers_dir.glob("*.json")))
-            shard = existing % num_shards
-        if not 0 <= shard < num_shards:
-            raise ValueError(f"shard {shard} out of range "
-                             f"(plan has {num_shards} shards)")
-        atomic_write_json(workers_dir / f"{self.worker_id}.json",
-                          {"worker_id": self.worker_id, "shard": shard,
-                           "registered_at": time.time()})
-        return shard
+        self._last_snapshot: Optional[TaskSnapshot] = None
+        if cache_dir is ...:
+            cache_dir = self.plan.cache_dir
+        self._cache = None if cache_dir is None else ResumeCache(cache_dir)
+        self.shard = self.transport.register_worker(self.worker_id, shard)
 
     # ------------------------------------------------------------------ #
     # Candidate selection
     # ------------------------------------------------------------------ #
-    def _is_done(self, index: int) -> bool:
-        return done_path(self.cluster_dir, index).exists()
-
-    def _lease_age(self, index: int) -> Optional[float]:
-        """Seconds since the lease's last heartbeat, or ``None`` if unleased."""
-        try:
-            return time.time() - lease_path(self.cluster_dir,
-                                            index).stat().st_mtime
-        except OSError:
-            return None
-
-    def _is_available(self, index: int) -> bool:
-        """Pending: not done, and not covered by a live lease."""
-        if self._is_done(index):
-            return False
-        age = self._lease_age(index)
-        return age is None or age >= self.plan.lease_timeout
-
-    def _pending_of_shard(self, shard_id: int) -> list[int]:
+    def _pending_of_shard(self, snapshot: TaskSnapshot,
+                          shard_id: int) -> list[int]:
+        timeout = self.plan.lease_timeout
         return [index for index in self.plan.shard_plan.shards[shard_id]
-                if self._is_available(index)]
+                if snapshot.is_available(index, timeout)]
 
-    def _next_candidates(self):
+    def _next_candidates(self, snapshot: TaskSnapshot):
         """Yield candidate indices in claim-priority order.
 
         Own shard front-to-back first; then, if stealing, other shards by
         descending remaining estimated cost, robbed back-to-front.
         """
-        yield from self._pending_of_shard(self.shard)
+        yield from self._pending_of_shard(snapshot, self.shard)
         if not self.steal:
             return
         plan = self.plan.shard_plan
@@ -185,7 +164,7 @@ class ClusterWorker:
         for shard_id in range(plan.num_shards):
             if shard_id == self.shard:
                 continue
-            pending = self._pending_of_shard(shard_id)
+            pending = self._pending_of_shard(snapshot, shard_id)
             if not pending:
                 continue
             remaining = sum(plan.scenario_costs[index] for index in pending)
@@ -193,36 +172,6 @@ class ClusterWorker:
         victims.sort()
         for _, _, pending in victims:
             yield from reversed(pending)
-
-    # ------------------------------------------------------------------ #
-    # Claiming
-    # ------------------------------------------------------------------ #
-    def _claim(self, index: int) -> bool:
-        """Try to acquire the lease for ``index``; never blocks."""
-        lease = lease_path(self.cluster_dir, index)
-        payload = json.dumps({"worker_id": self.worker_id,
-                              "claimed_at": time.time()})
-        try:
-            descriptor = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            age = self._lease_age(index)
-            if age is None:
-                # Lease vanished between the existence check and now —
-                # retry through the normal candidate loop.
-                return False
-            if age < self.plan.lease_timeout or self._is_done(index):
-                return False
-            # Stale lease: take it over atomically.  If two workers race
-            # here both takeovers "succeed" and the scenario runs twice —
-            # deterministic execution makes that merely wasteful, and the
-            # merge dedupes the identical records.
-            tmp = lease.with_name(f"{lease.name}.{self.worker_id}.tmp")
-            tmp.write_text(payload)
-            tmp.replace(lease)
-            return not self._is_done(index)
-        with os.fdopen(descriptor, "w") as handle:
-            handle.write(payload)
-        return True
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -244,11 +193,7 @@ class ClusterWorker:
             outcome = execute_scenario(spec, seed, duration)
             if self._cache is not None:
                 self._cache.store(spec, outcome, duration)
-        self.sink.write(index, outcome)
-        atomic_write_json(done_path(self.cluster_dir, index),
-                          {"index": index, "worker_id": self.worker_id,
-                           "wall_time": outcome.wall_time,
-                           "finished_at": time.time()})
+        self.transport.submit_result(self.worker_id, index, outcome)
         self.executed.append(index)
         if self.on_outcome is not None:
             self.on_outcome(outcome)
@@ -264,8 +209,9 @@ class ClusterWorker:
         """
         if self.crashed:
             return None
-        for index in self._next_candidates():
-            if not self._claim(index):
+        snapshot = self._last_snapshot = self.transport.snapshot()
+        for index in self._next_candidates(snapshot):
+            if not self.transport.try_claim(index, self.worker_id):
                 continue
             self._claims += 1
             if (self.crash_after_claims is not None
@@ -275,52 +221,102 @@ class ClusterWorker:
                 # scenario is reclaimed by a peer.
                 self.crashed = True
                 return None
-            lease = lease_path(self.cluster_dir, index)
-            with _Heartbeat(lease, self.plan.lease_timeout / 3.0):
+            with _Heartbeat(self.transport, index, self.worker_id,
+                            self.plan.lease_timeout / 3.0):
                 self._execute(index)
             return index
         return None
 
     def run(self, poll_interval: float = 0.2,
-            wait_for_stragglers: bool = True) -> int:
+            wait_for_stragglers: bool = True,
+            reconnect_grace: float = 30.0) -> int:
         """Serve scenarios until the grid has no work left for this worker.
 
         With ``wait_for_stragglers`` the worker idles (sleeping
         ``poll_interval``) while other workers still hold live leases, so it
         can reclaim them if their owners die; it returns once every
-        scenario is done.  Returns the number of scenarios this worker
-        executed.
+        scenario is done — or, on a socket transport, when the coordinator
+        stays unreachable for ``reconnect_grace`` seconds.  The grace
+        window matters both ways: a coordinator *restart* (serve resumes on
+        its durable directory) must not kill the whole worker fleet over a
+        transient connection blip, while a coordinator that merged and
+        exited should release the worker promptly.  Whatever was in flight
+        when the coordinator vanished is protocol-safe: an unsubmitted
+        result just leaves its lease to go stale and the scenario is
+        re-executed deterministically on resume.  Returns the number of
+        scenarios this worker executed.
         """
-        while True:
-            if self.step() is not None:
-                continue
-            if self.crashed or not wait_for_stragglers:
-                break
-            if all(self._is_done(index)
-                   for index in range(len(self.plan.specs))):
-                break
-            time.sleep(poll_interval)
-        self.sink.close()
+        outage_since: Optional[float] = None
+        try:
+            while True:
+                try:
+                    if self.step() is not None:
+                        outage_since = None
+                        continue
+                    outage_since = None
+                    if self.crashed or not wait_for_stragglers:
+                        break
+                    # step() found nothing claimable; its snapshot is fresh
+                    # enough to double as the completion check (a second
+                    # snapshot RPC per poll would just double idle-fleet
+                    # load on the coordinator).
+                    if (self._last_snapshot is not None
+                            and len(self._last_snapshot.done)
+                            >= len(self.plan.specs)):
+                        break
+                except TransportError as error:
+                    now = time.monotonic()
+                    if outage_since is None:
+                        outage_since = now
+                    if now - outage_since >= reconnect_grace:
+                        logger.warning(
+                            "coordinator unreachable for %.0fs, stopping: %s",
+                            now - outage_since, error)
+                        break
+                    logger.info("coordinator unreachable, retrying: %s",
+                                error)
+                time.sleep(poll_interval)
+        finally:
+            self.close()
         return len(self.executed)
+
+    def close(self) -> None:
+        """Flush sinks / release the coordinator connection."""
+        self.transport.close()
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point: ``python -m repro.cluster.worker``."""
     parser = argparse.ArgumentParser(
-        description="Run one sweep-cluster worker against a shared "
-                    "cluster directory.")
-    parser.add_argument("--cluster-dir", required=True,
-                        help="directory containing plan.json")
+        description="Run one sweep-cluster worker against a shared cluster "
+                    "directory or a TCP coordinator.")
+    where = parser.add_mutually_exclusive_group(required=True)
+    where.add_argument("--cluster-dir", default=None,
+                       help="shared directory containing plan.json")
+    where.add_argument("--coordinator", default=None, metavar="HOST:PORT",
+                       help="TCP coordinator started with "
+                            "python -m repro.cluster.serve")
     parser.add_argument("--worker-id", default=None,
                         help="unique worker name (default: <host>-<pid>)")
     parser.add_argument("--shard", type=int, default=None,
                         help="home shard (default: auto round-robin)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="machine-local resume-cache directory "
+                             "(default: the plan's cache_dir; '' disables "
+                             "caching)")
     parser.add_argument("--no-steal", action="store_true",
                         help="never take work from other shards")
     parser.add_argument("--no-wait", action="store_true",
                         help="exit when idle instead of standing by to "
                              "reclaim crashed peers' work")
+    parser.add_argument("--crash-after-claims", type=int, default=None,
+                        help=argparse.SUPPRESS)  # CI crash-recovery smoke
     args = parser.parse_args(argv)
+
+    if args.coordinator is not None:
+        transport: Transport = SocketTransport(args.coordinator)
+    else:
+        transport = FilesystemTransport(args.cluster_dir)
 
     def progress(outcome: ScenarioOutcome) -> None:
         tag = "cached" if outcome.from_cache else (
@@ -328,11 +324,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"[{worker.worker_id}] {outcome.scenario_name:<40} {tag} "
               f"({outcome.wall_time:.1f}s)", flush=True)
 
-    worker = ClusterWorker(args.cluster_dir, worker_id=args.worker_id,
-                           shard=args.shard, steal=not args.no_steal,
-                           on_outcome=progress)
+    if args.cache_dir is None:
+        cache_dir = ...  # not given: use the plan's cache_dir
+    else:
+        cache_dir = args.cache_dir or None  # "" disables (as in serve)
+    worker = ClusterWorker(
+        transport, worker_id=args.worker_id, shard=args.shard,
+        steal=not args.no_steal, on_outcome=progress,
+        crash_after_claims=args.crash_after_claims,
+        cache_dir=cache_dir)
     print(f"[{worker.worker_id}] serving shard {worker.shard} of "
-          f"{worker.plan.shard_plan.num_shards} "
+          f"{worker.plan.shard_plan.num_shards} over {transport.kind} "
           f"({len(worker.plan.specs)} scenarios total)", flush=True)
     executed = worker.run(wait_for_stragglers=not args.no_wait)
     print(f"[{worker.worker_id}] done: {executed} scenario(s) executed",

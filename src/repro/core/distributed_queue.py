@@ -234,6 +234,10 @@ class DistributedQueue(Protocol):
             queue_id: itertools.count() for queue_id in self.queues
         }
         self._pending: dict[int, _PendingAdd] = {}
+        # Flat ready-list cache: valid while every lane's (cached) ready
+        # list is the identical object it was on the previous call.
+        self._flat_ready: Optional[tuple[QueueItem, ...]] = None
+        self._flat_sources: tuple[list[QueueItem], ...] = ()
         #: Called whenever an item is added locally (either origin).
         self.on_item_added: Optional[Callable[[QueueItem], None]] = None
         self.statistics = {"adds_sent": 0, "adds_received": 0,
@@ -328,12 +332,26 @@ class DistributedQueue(Protocol):
             return None
         return queue.get(queue_id.queue_seq)
 
-    def ready_items(self, cycle: int) -> list[QueueItem]:
-        """All ready items across lanes (the scheduler picks among these)."""
-        ready = []
-        for queue in self.queues.values():
-            ready.extend(queue.ready_items(cycle))
-        return ready
+    def ready_items(self, cycle: int) -> tuple[QueueItem, ...]:
+        """All ready items across lanes (the scheduler picks among these).
+
+        Returned as an immutable *tuple*, cached on the identity of the
+        per-lane cached lists: while no lane rebuilt its ready list, the
+        same tuple object comes back.  That saves the per-cycle copy on
+        deep queues — and because the object is immutable and stable
+        between mutations, the schedulers memoise their selection on it
+        (see :meth:`~repro.core.scheduler.FCFSScheduler.select`).
+        """
+        sources = tuple(queue.ready_items(cycle)
+                        for queue in self.queues.values())
+        previous = self._flat_sources
+        if (self._flat_ready is not None and len(sources) == len(previous)
+                and all(a is b for a, b in zip(sources, previous))):
+            return self._flat_ready
+        flat = tuple(item for source in sources for item in source)
+        self._flat_sources = sources
+        self._flat_ready = flat
+        return flat
 
     # ------------------------------------------------------------------ #
     # Frame handling

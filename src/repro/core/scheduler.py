@@ -45,17 +45,59 @@ class SchedulingStrategy(ABC):
         """Hook invoked when a pair for ``item`` is delivered."""
 
 
+class _SelectionCache:
+    """Memoises a scheduler's choice on the *identity* of the ready tuple.
+
+    The EGP polls the scheduler every GEN cycle, but between queue
+    mutations :meth:`DistributedQueue.ready_items` returns the identical
+    immutable tuple — and every field the selection depends on
+    (``added_at``, ``queue_id``, ``priority``, ``virtual_finish``) is fixed
+    by the time an item appears in a ready list.  Same tuple object
+    therefore implies the same choice, so the O(n) ``min`` scan of a deep
+    queue runs once per mutation instead of once per cycle.  Only tuples
+    are memoised — a mutable list (e.g. hand-built in tests) can be edited
+    in place under the cache, so it always takes the scan path — and the
+    strong reference to the memoised tuple keeps its ``id`` from being
+    reused.
+    """
+
+    def __init__(self) -> None:
+        self._items: Optional[Sequence[QueueItem]] = None
+        self._choice: Optional[QueueItem] = None
+
+    def lookup(self, ready_items: Sequence[QueueItem],
+               ) -> "tuple[bool, Optional[QueueItem]]":
+        if ready_items is self._items:
+            return True, self._choice
+        return False, None
+
+    def store(self, ready_items: Sequence[QueueItem],
+              choice: Optional[QueueItem]) -> Optional[QueueItem]:
+        if isinstance(ready_items, tuple):
+            self._items = ready_items
+            self._choice = choice
+        return choice
+
+
 class FCFSScheduler(SchedulingStrategy):
     """First-come-first-serve across all priority lanes."""
 
     name = "FCFS"
 
+    def __init__(self) -> None:
+        self._cache = _SelectionCache()
+
     def select(self, ready_items: Sequence[QueueItem],
                cycle: int) -> Optional[QueueItem]:
         if not ready_items:
             return None
-        return min(ready_items,
-                   key=lambda item: (item.added_at, item.queue_id))
+        hit, choice = self._cache.lookup(ready_items)
+        if hit:
+            return choice
+        return self._cache.store(
+            ready_items,
+            min(ready_items,
+                key=lambda item: (item.added_at, item.queue_id)))
 
 
 class WeightedFairScheduler(SchedulingStrategy):
@@ -80,8 +122,11 @@ class WeightedFairScheduler(SchedulingStrategy):
                 raise ValueError(f"weight for {priority} must be positive")
         self.strict_priorities = tuple(strict_priorities)
         self.name = name
-        #: WFQ virtual time, advanced as pairs complete.
+        #: WFQ virtual time, advanced as pairs complete.  Only consulted at
+        #: enqueue time (it stamps ``virtual_finish``), so advancing it does
+        #: not perturb the selection cache.
         self._virtual_time = 0.0
+        self._cache = _SelectionCache()
 
     @classmethod
     def higher_wfq(cls) -> "WeightedFairScheduler":
@@ -117,6 +162,13 @@ class WeightedFairScheduler(SchedulingStrategy):
                cycle: int) -> Optional[QueueItem]:
         if not ready_items:
             return None
+        hit, choice = self._cache.lookup(ready_items)
+        if hit:
+            return choice
+        return self._cache.store(ready_items, self._select(ready_items))
+
+    def _select(self, ready_items: Sequence[QueueItem],
+                ) -> Optional[QueueItem]:
         for priority in self.strict_priorities:
             strict = [item for item in ready_items if item.priority == priority]
             if strict:

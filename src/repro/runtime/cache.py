@@ -32,7 +32,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
 #: the filename instead of the key hash; outcomes record events_processed.
 CACHE_VERSION = 3
 
+#: Canonical filename of the persisted scenario cost model (see
+#: :class:`repro.cluster.planner.RecordedCostModel`): it lives next to the
+#: resume cache (or in the cluster directory) so every completed sweep
+#: calibrates the next plan.
+COST_MODEL_NAME = "cost_model.json"
+
 logger = logging.getLogger("repro.runtime.cache")
+
+
+def cost_model_path(directory: "str | Path") -> Path:
+    """The cost-model file for a cache/cluster directory."""
+    return Path(directory) / COST_MODEL_NAME
 
 
 def atomic_write_text(path: Path, text: str) -> None:

@@ -142,6 +142,59 @@ class TestShardPlanner:
             origins=("A",), include_md_k255=False, backend="density")[0]
         assert model.estimate(dense, 1.0) > model.estimate(k1, 1.0)
 
+    def test_recorded_model_persists_and_reloads(self, tmp_path):
+        specs = grid(count=4, backend="analytic")
+        result = run_sweep(specs, DURATION, master_seed=3)
+        model = RecordedCostModel.from_results([result])
+        path = model.save(tmp_path / "cost_model.json")
+        again = RecordedCostModel.load(path)
+        assert again.observations() == model.observations()
+        for spec in specs:
+            assert again.estimate(spec, 2.0) == model.estimate(spec, 2.0)
+        # Best-effort loading: absent -> None, corrupt -> None (planning
+        # must survive a torn cost model).
+        assert RecordedCostModel.load_if_present(tmp_path / "nope.json") is None
+        path.write_text("{torn")
+        assert RecordedCostModel.load_if_present(path) is None
+
+    def test_recorded_model_bounds_its_history(self):
+        model = RecordedCostModel()
+        specs = grid(count=1, backend="analytic")
+        result = run_sweep(specs, DURATION, master_seed=3)
+        for _ in range(3 * RecordedCostModel.MAX_OBSERVATIONS_PER_KEY):
+            model.observe(result.outcomes[0])
+        assert model.observations() == RecordedCostModel.MAX_OBSERVATIONS_PER_KEY
+
+    def test_coordinator_autoloads_and_records_cost_model(self, tmp_path):
+        specs = grid(count=4, backend="analytic")
+        first = ClusterCoordinator(specs, DURATION, tmp_path / "a",
+                                   master_seed=77, num_shards=2)
+        assert first.effective_cost_model() is None  # nothing persisted yet
+        result = first.run_local()
+        path = first.record_costs(result)  # idempotent wrt run_local's own
+        assert path == first.cost_model_path() and path.exists()
+
+        # A later coordinator on the same directory plans from the
+        # calibrated model automatically.
+        second = ClusterCoordinator(specs, DURATION, tmp_path / "a",
+                                    master_seed=77, num_shards=2)
+        model = second.effective_cost_model()
+        assert isinstance(model, RecordedCostModel)
+        assert model.observations() >= 4
+        for spec, outcome in zip(specs, result.outcomes):
+            assert model.recorded_rate(spec) is not None
+        # With a shared cache dir, the model lives there instead — shared
+        # across every sweep using that cache.
+        cached = ClusterCoordinator(specs, DURATION, tmp_path / "b",
+                                    master_seed=77, num_shards=2,
+                                    cache_dir=tmp_path / "cache")
+        assert cached.cost_model_path().parent == tmp_path / "cache"
+        # An all-from-cache merge yields no usable observation.
+        assert RecordedCostModel().calibrate(result) >= 4
+        for outcome in result.outcomes:
+            outcome.from_cache = True
+        assert first.record_costs(result) is None
+
     def test_recorded_model_calibrates_from_prior_sweeps(self):
         specs = grid(count=4, backend="analytic")
         result = run_sweep(specs, DURATION, master_seed=3)
@@ -280,6 +333,95 @@ class TestSinks:
             assert loaded == result.outcomes[0]
             assert "NoSuchScheduler" in loaded.error
 
+    def test_columnar_flushes_append_only_segments(self, outcomes, tmp_path):
+        # Each flush seals a new segment; earlier segments are never
+        # rewritten (the v1 format rewrote every column on every flush).
+        path = tmp_path / part_name("columnar", "w0")
+        sink = open_sink("columnar", path, master_seed=outcomes.master_seed,
+                         duration=outcomes.duration)
+        sink.write(0, outcomes.outcomes[0])  # flush_every=1: seals seg 0
+        first_segment = path / "seg-000000" / "index.json"
+        before = first_segment.read_bytes()
+        before_mtime = first_segment.stat().st_mtime_ns
+        sink.write(1, outcomes.outcomes[1])
+        sink.write(2, outcomes.outcomes[2])
+        sink.close()
+        assert first_segment.read_bytes() == before
+        assert first_segment.stat().st_mtime_ns == before_mtime
+        segments = sorted(p.name for p in path.iterdir() if p.is_dir())
+        assert segments == ["seg-000000", "seg-000001", "seg-000002"]
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert [s["rows"] for s in manifest["segments"]] == [1, 1, 1]
+        assert [o for _, o in load_results(path)] == outcomes.outcomes
+
+    def test_columnar_resume_appends_new_segments(self, outcomes, tmp_path):
+        path = tmp_path / part_name("columnar", "w0")
+        sink = open_sink("columnar", path, master_seed=outcomes.master_seed,
+                         duration=outcomes.duration)
+        sink.write(0, outcomes.outcomes[0])
+        sink.close()
+        # A restarted worker resumes the same part: sealed segments are
+        # adopted, new rows land in fresh segments.
+        resumed = open_sink("columnar", path,
+                            master_seed=outcomes.master_seed,
+                            duration=outcomes.duration)
+        resumed.write(1, outcomes.outcomes[1])
+        resumed.write(2, outcomes.outcomes[2])
+        resumed.close()
+        assert [o for _, o in load_results(path)] == outcomes.outcomes
+        merged = merge_results([path], expected_count=3)
+        assert merged.outcomes == outcomes.outcomes
+
+    def test_columnar_orphaned_segment_is_ignored(self, outcomes, tmp_path):
+        # A crash between sealing a segment's columns and updating the
+        # manifest leaves an unlisted directory: merge-on-read skips it.
+        path = tmp_path / part_name("columnar", "w0")
+        sink = open_sink("columnar", path, master_seed=outcomes.master_seed,
+                         duration=outcomes.duration)
+        sink.write(0, outcomes.outcomes[0])
+        sink.close()
+        orphan = path / "seg-000001"
+        orphan.mkdir()
+        (orphan / "index.json").write_text("[99]")
+        loaded = load_results(path)
+        assert [index for index, _ in loaded] == [0]
+
+    def test_columnar_v1_part_still_loads(self, outcomes, tmp_path):
+        # Pre-chunking parts (single columns/ dir, no segment list) remain
+        # readable and merge identically.
+        import dataclasses
+
+        from repro.analysis.metrics import MetricsSummary
+        from repro.runtime.cache import CACHE_VERSION, atomic_write_text
+        from repro.runtime.sweep import ScenarioOutcome
+
+        path = tmp_path / part_name("columnar", "w0")
+        columns_dir = path / "columns"
+        columns_dir.mkdir(parents=True)
+        rows = list(enumerate(outcomes.outcomes))
+        outcome_fields = [f.name for f in dataclasses.fields(ScenarioOutcome)
+                          if f.name != "summary"]
+        columns = {"index": [i for i, _ in rows]}
+        for name in outcome_fields:
+            columns[name] = [getattr(o, name) for _, o in rows]
+        for name in [f.name for f in dataclasses.fields(MetricsSummary)]:
+            columns[f"summary.{name}"] = [getattr(o.summary, name)
+                                          for _, o in rows]
+        for name, values in columns.items():
+            atomic_write_text(columns_dir / f"{name}.json",
+                              json.dumps(values))
+        atomic_write_text(path / "manifest.json", json.dumps({
+            "format": "sweep-columnar/v1",
+            "cache_version": CACHE_VERSION,
+            "master_seed": outcomes.master_seed,
+            "duration": outcomes.duration,
+            "rows": len(rows),
+            "columns": sorted(columns),
+        }))
+        assert [o for _, o in load_results(path)] == outcomes.outcomes
+        merged = merge_results([path], expected_count=len(rows))
+        assert merged.outcomes == outcomes.outcomes
+
     def test_merge_detects_missing_scenarios(self, outcomes, tmp_path):
         path = self.sink_path(tmp_path, "jsonl")
         sink = open_sink("jsonl", path, master_seed=outcomes.master_seed,
@@ -355,6 +497,26 @@ class TestClusterProtocol:
         other.write_plan(reset=True)
         assert not other.is_complete()
         assert other.result_parts() == []
+
+    def test_replan_resumes_despite_cost_model_drift(self, tmp_path):
+        # A recorded cost model changes shard costs between runs; that must
+        # not be mistaken for a "different sweep" (it would force --reset
+        # and discard completed work).
+        specs = grid(count=4, backend="analytic")
+        coordinator = self.make_cluster(tmp_path, specs)
+        ClusterWorker(coordinator.cluster_dir, "w", shard=0).run()
+        result = coordinator.merge()
+        assert coordinator.record_costs(result) is not None
+
+        resumed = ClusterCoordinator(
+            specs, DURATION, tmp_path / "cluster", master_seed=77,
+            num_shards=3, sink="jsonl", lease_timeout=120.0)
+        model = resumed.effective_cost_model()
+        assert model is not None and model.observations() >= 4
+        assert resumed.plan().scenario_costs != coordinator.plan().scenario_costs
+        resumed.write_plan()  # same sweep identity: resumes, no reset needed
+        assert resumed.is_complete()
+        assert resumed.merge().outcomes == result.outcomes
 
     def test_single_worker_drains_all_shards(self, tmp_path):
         specs = grid(count=6, backend="analytic")
@@ -466,7 +628,7 @@ class TestSerialShardedEquivalence:
         ]
         drive_workers(coordinator, workers)
         for worker in workers:
-            worker.sink.close()
+            worker.close()
 
         assert workers[0].crashed  # the simulated death actually happened
         merged = coordinator.merge()

@@ -1,0 +1,588 @@
+"""Tests for the cluster transport layer (``repro.cluster.transport``).
+
+Covers the wire codec, the :class:`Transport` contract's lease edge cases —
+double-claim races, stale-lease takeover while the original worker
+resurrects, resume-cache skip reporting — **parametrized over both
+transports** (shared filesystem and TCP), the autoscaling policy/scaler,
+and the acceptance bar: a sweep sharded over ``SocketTransport`` with three
+workers, work stealing and a mid-grid worker crash, where workers share *no*
+filesystem (distinct temp dirs), merging field-for-field identical to a
+serial ``SweepRunner`` run under both backends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterStats,
+    ClusterWorker,
+    FilesystemTransport,
+    ProcessPoolScaler,
+    QueueDepthPolicy,
+    SocketTransport,
+    TaskSnapshot,
+    TransportError,
+)
+from repro.cluster.coordinator import done_path
+from repro.cluster.serve import ClusterCoordinatorServer
+from repro.cluster.transport import parse_address, recv_frame, send_frame
+from repro.runtime import ScenarioSpec, SweepRunner, run_sweep, single_kind_scenarios
+from repro.runtime.sweep import execute_scenario
+
+DURATION = 0.05
+
+TRANSPORTS = ("filesystem", "socket")
+
+
+def grid(count=None, backend=None, loads=("Low", "High"),
+         max_pairs_options=(1, 3)) -> list[ScenarioSpec]:
+    specs = single_kind_scenarios(
+        "Lab", kinds=("NL", "CK", "MD"), loads=loads,
+        max_pairs_options=max_pairs_options, origins=("A", "B"),
+        include_md_k255=False, attempt_batch_size=40, backend=backend)
+    return specs if count is None else specs[:count]
+
+
+class TransportCluster:
+    """One planned cluster reachable over a configurable transport kind.
+
+    The coordinator state always lives in a local directory (that is what
+    makes it durable); ``transport()`` hands out either a direct
+    :class:`FilesystemTransport` onto it or a :class:`SocketTransport` to a
+    :class:`ClusterCoordinatorServer` fronting it.
+    """
+
+    def __init__(self, tmp_path, kind, specs, sink="jsonl",
+                 lease_timeout=120.0, cache_dir=None, master_seed=77,
+                 num_shards=3):
+        self.kind = kind
+        self.coordinator = ClusterCoordinator(
+            specs, DURATION, tmp_path / "server", master_seed=master_seed,
+            num_shards=num_shards, sink=sink, lease_timeout=lease_timeout,
+            cache_dir=cache_dir)
+        self.coordinator.write_plan()
+        self.server = None
+        self._transports = []
+        if kind == "socket":
+            self.server = ClusterCoordinatorServer(self.coordinator)
+            self.server.start_background()
+
+    def transport(self):
+        if self.kind == "socket":
+            transport = SocketTransport(self.server.address)
+        else:
+            transport = FilesystemTransport(self.coordinator.cluster_dir)
+        self._transports.append(transport)
+        return transport
+
+    def backdate_stale_leases(self, seconds=3600.0) -> int:
+        """Age every lease of an unfinished scenario past any timeout.
+
+        Test-only manipulation of the coordinator's *local* state — workers
+        only ever see the effect through their transport.
+        """
+        past = time.time() - seconds
+        aged = 0
+        cluster_dir = self.coordinator.cluster_dir
+        for lease in (cluster_dir / "tasks").glob("*.lease"):
+            if not done_path(cluster_dir, int(lease.stem)).exists():
+                os.utime(lease, (past, past))
+                aged += 1
+        return aged
+
+    def close(self):
+        for transport in self._transports:
+            transport.close()
+        if self.server is not None:
+            self.server.stop()
+
+
+@pytest.fixture(params=TRANSPORTS)
+def make_cluster(request, tmp_path):
+    clusters = []
+
+    def factory(specs, **kwargs):
+        cluster = TransportCluster(tmp_path, request.param, specs, **kwargs)
+        clusters.append(cluster)
+        return cluster
+
+    factory.kind = request.param
+    yield factory
+    for cluster in clusters:
+        cluster.close()
+
+
+# --------------------------------------------------------------------------- #
+# Wire codec
+# --------------------------------------------------------------------------- #
+class TestFraming:
+    def test_frame_round_trip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            payload = {"op": "claim", "index": 3,
+                       "nested": {"values": [1.5, None, "x"]}}
+            send_frame(left, payload)
+            assert recv_frame(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none_and_torn_frame_raises(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+        left, right = socket.socketpair()
+        try:
+            body = json.dumps({"op": "x"}).encode()
+            # Announce more bytes than we send, then close mid-frame.
+            left.sendall(len(body).to_bytes(4, "big") + body[:-2])
+            left.close()
+            with pytest.raises(TransportError, match="mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_parse_address(self):
+        assert parse_address("example.org:7766") == ("example.org", 7766)
+        assert parse_address(("10.0.0.1", 80)) == ("10.0.0.1", 80)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+    def test_snapshot_round_trips_through_json(self):
+        snapshot = TaskSnapshot(done=frozenset({0, 4}),
+                                lease_ages={2: 1.5, 7: 900.0})
+        again = TaskSnapshot.from_dict(
+            json.loads(json.dumps(snapshot.to_dict())))
+        assert again == snapshot
+        assert again.is_done(4) and not again.is_done(2)
+        assert again.is_available(1, lease_timeout=60.0)
+        assert not again.is_available(2, lease_timeout=60.0)  # live lease
+        assert again.is_available(7, lease_timeout=60.0)  # stale lease
+
+
+# --------------------------------------------------------------------------- #
+# Transport contract (parametrized over filesystem and socket)
+# --------------------------------------------------------------------------- #
+class TestTransportContract:
+    def test_plan_and_registration_match_the_coordinator(self, make_cluster):
+        specs = grid(count=4, backend="analytic")
+        cluster = make_cluster(specs)
+        transport = cluster.transport()
+        assert transport.plan.specs == specs
+        assert transport.plan.shard_plan == cluster.coordinator.plan()
+        # Auto shard assignment is round-robin over registrations.
+        assert transport.register_worker("a", None) == 0
+        assert transport.register_worker("b", None) == 1
+        assert transport.register_worker("c", 2) == 2
+        with pytest.raises(TransportError):
+            transport.register_worker("d", 99)
+
+    def test_double_claim_race_grants_exactly_one(self, make_cluster):
+        specs = grid(count=4, backend="analytic")
+        cluster = make_cluster(specs)
+        contenders = [cluster.transport() for _ in range(6)]
+        grants = []
+        barrier = threading.Barrier(len(contenders))
+
+        def contend(transport, worker_id):
+            barrier.wait()
+            if transport.try_claim(0, worker_id):
+                grants.append(worker_id)
+
+        threads = [threading.Thread(target=contend, args=(t, f"w{i}"))
+                   for i, t in enumerate(contenders)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(grants) == 1
+        # The grant is visible to everyone: index 0 now carries a live lease.
+        snapshot = contenders[0].snapshot()
+        assert not snapshot.is_available(
+            0, cluster.coordinator.lease_timeout)
+        # And a later claim against the live lease is refused.
+        assert not contenders[0].try_claim(0, "latecomer")
+
+    def test_stale_takeover_while_original_worker_resurrects(
+            self, make_cluster):
+        specs = grid(count=4, backend="analytic")
+        cluster = make_cluster(specs)
+        original = cluster.transport()
+        rescuer = cluster.transport()
+        assert original.try_claim(0, "original")
+        assert original.heartbeat(0, "original")
+
+        # The original goes silent; its lease ages past the timeout and a
+        # rescuer takes it over atomically.
+        assert cluster.backdate_stale_leases() == 1
+        assert rescuer.try_claim(0, "rescuer")
+
+        # The resurrected original discovers the takeover through its
+        # heartbeat and stops beating.
+        assert not original.heartbeat(0, "original")
+        assert rescuer.heartbeat(0, "rescuer")
+
+        # Both execute (determinism makes the records identical) and both
+        # submissions land; the merge dedupes to the single serial outcome.
+        outcome = execute_scenario(specs[0], original.plan.seeds[0], DURATION)
+        rescuer.submit_result("rescuer", 0, outcome)
+        original.submit_result("original", 0, outcome)
+        for transport in (original, rescuer):
+            assert transport.snapshot().is_done(0)
+        # A claim on a done scenario is refused, stale lease or not.
+        cluster.backdate_stale_leases(seconds=7200.0)
+        assert not rescuer.try_claim(0, "third")
+        cluster.close()
+        merged = cluster.coordinator.merge(require_complete=False)
+        assert merged.outcomes == [outcome]
+
+    def test_cache_report_skip_reasons_reach_the_worker(self, make_cluster,
+                                                        tmp_path):
+        specs = grid(count=4, backend="analytic")
+        cache_dir = tmp_path / "worker-local-cache"
+        serial = run_sweep(specs, DURATION, master_seed=77,
+                           cache_dir=cache_dir)
+        # Corrupt one entry; leave another readable only under a foreign
+        # backend by rewriting its filename suffix.
+        entries = sorted(cache_dir.glob("*.analytic.json"))
+        assert len(entries) == 4
+        entries[0].write_text("{torn")
+        entries[1].rename(entries[1].with_name(
+            entries[1].name.replace(".analytic.", ".density.")))
+
+        cluster = make_cluster(specs)
+        worker = ClusterWorker(cluster.transport(), "w", shard=0,
+                               cache_dir=cache_dir)
+        worker.run(wait_for_stragglers=False)
+        report = worker.cache_report
+        assert report.counts() == {"hits": 2, "misses": 0, "skips": 2}
+        reasons = sorted(skip.reason for skip in report.skips)
+        assert "corrupt cache entry" in reasons[1]
+        assert "only under backend(s) 'density'" in reasons[0]
+        merged = cluster.coordinator.merge()
+        assert merged.outcomes == serial.outcomes
+
+    def test_worker_equivalence_over_either_transport(self, make_cluster):
+        specs = grid(count=8, backend="analytic")
+        serial = SweepRunner(specs, DURATION, master_seed=77).run()
+        cluster = make_cluster(specs)
+        workers = [ClusterWorker(cluster.transport(), f"w{i}", shard=i,
+                                 cache_dir=None)
+                   for i in range(3)]
+        for worker in workers:
+            worker.run(wait_for_stragglers=False)
+        cluster.close()
+        merged = cluster.coordinator.merge()
+        assert merged.outcomes == serial.outcomes
+        assert merged == serial
+
+
+# --------------------------------------------------------------------------- #
+# Socket specifics
+# --------------------------------------------------------------------------- #
+class TestSocketTransport:
+    def test_unknown_op_and_bad_index_are_rejected(self, tmp_path):
+        specs = grid(count=2, backend="analytic")
+        cluster = TransportCluster(tmp_path, "socket", specs)
+        try:
+            transport = cluster.transport()
+            with pytest.raises(TransportError, match="unknown operation"):
+                transport.request("frobnicate")
+            with pytest.raises(TransportError, match="out of range"):
+                transport.request("claim", index=99, worker_id="w")
+        finally:
+            cluster.close()
+
+    def test_connect_failure_raises_transport_error(self):
+        with pytest.raises(TransportError, match="cannot connect"):
+            SocketTransport("127.0.0.1:1", connect_retry=0.0)
+
+    def test_status_over_the_wire(self, tmp_path):
+        specs = grid(count=4, backend="analytic")
+        cluster = TransportCluster(tmp_path, "socket", specs)
+        try:
+            transport = cluster.transport()
+            status = transport.status()
+            assert status["scenarios"] == 4
+            assert status["total"]["pending"] == 4
+            assert status["complete"] is False
+            ClusterWorker(transport, "w", shard=0).run(
+                wait_for_stragglers=False)
+            assert cluster.transport().status()["complete"] is True
+        finally:
+            cluster.close()
+
+    def test_request_reconnects_after_a_dropped_connection(self, tmp_path):
+        specs = grid(count=2, backend="analytic")
+        cluster = TransportCluster(tmp_path, "socket", specs)
+        try:
+            transport = cluster.transport()
+            assert transport.status()["scenarios"] == 2
+            # Kill the underlying socket mid-session (what a timed-out or
+            # failed request does): the next request must open a fresh,
+            # in-sync connection instead of reading a stale response.
+            transport._sock.close()
+            transport._sock = None
+            assert transport.status()["scenarios"] == 2
+            # close() is terminal — no silent reconnects afterwards.
+            transport.close()
+            with pytest.raises(TransportError, match="closed"):
+                transport.status()
+        finally:
+            cluster.close()
+
+    def test_worker_run_survives_coordinator_shutdown(self, tmp_path):
+        specs = grid(count=4, backend="analytic")
+        cluster = TransportCluster(tmp_path, "socket", specs)
+        worker = ClusterWorker(cluster.transport(), "w", shard=0)
+        # The coordinator vanishes before the worker ever steps (merged and
+        # exited, say): run() must return cleanly, not raise.
+        cluster.close()
+        assert worker.run(poll_interval=0.01, reconnect_grace=0.0) == 0
+
+    def test_worker_rides_out_a_coordinator_restart(self, tmp_path):
+        specs = grid(count=4, backend="analytic")
+        cluster = TransportCluster(tmp_path, "socket", specs)
+        worker = ClusterWorker(cluster.transport(), "w", shard=0)
+        # The coordinator goes down mid-sweep and comes back on the same
+        # port (serve resumes on its durable directory); a restart thread
+        # brings it up shortly.
+        address = cluster.server.server_address[:2]
+        cluster.server.stop()
+        replacement = {}
+
+        def restart():
+            time.sleep(0.5)
+            server = ClusterCoordinatorServer(cluster.coordinator, address)
+            server.start_background()
+            replacement["server"] = server
+
+        thread = threading.Thread(target=restart)
+        thread.start()
+        try:
+            executed = worker.run(poll_interval=0.05, reconnect_grace=30.0)
+        finally:
+            thread.join()
+            replacement["server"].stop()
+        assert executed == len(specs)
+        merged = cluster.coordinator.merge()
+        serial = SweepRunner(specs, DURATION, master_seed=77).run()
+        assert merged.outcomes == serial.outcomes
+
+    def test_server_restart_resumes_durable_state(self, tmp_path):
+        specs = grid(count=6, backend="analytic")
+        cluster = TransportCluster(tmp_path, "socket", specs)
+        worker = ClusterWorker(cluster.transport(), "w0", shard=0,
+                               steal=False)
+        worker.run(wait_for_stragglers=False)
+        done_before = len(worker.executed)
+        assert 0 < done_before < len(specs)
+        cluster.close()
+
+        # A fresh server over the same directory picks up the done markers
+        # and result parts; a new worker finishes only the remainder.
+        server = ClusterCoordinatorServer(cluster.coordinator)
+        server.start_background()
+        try:
+            finisher = ClusterWorker(SocketTransport(server.address), "w1",
+                                     shard=1)
+            finisher.run(wait_for_stragglers=False)
+            assert len(finisher.executed) == len(specs) - done_before
+            merged = cluster.coordinator.merge()
+            serial = SweepRunner(specs, DURATION, master_seed=77).run()
+            assert merged.outcomes == serial.outcomes
+        finally:
+            server.stop()
+
+
+# --------------------------------------------------------------------------- #
+# Autoscaling
+# --------------------------------------------------------------------------- #
+class TestScaling:
+    def stats(self, **overrides):
+        base = dict(pending=0, leased=0, stale=0, done=0, scenarios=10,
+                    workers=0)
+        base.update(overrides)
+        return ClusterStats(**base)
+
+    def test_queue_depth_policy_spawns_on_backlog(self):
+        policy = QueueDepthPolicy(min_workers=1, max_workers=4,
+                                  backlog_per_worker=2.0)
+        advice = policy.advise(self.stats(pending=10))
+        assert advice.spawn == 4 and advice.retire == 0  # capped at max
+        advice = policy.advise(self.stats(pending=3, workers=1))
+        assert advice.spawn == 1  # ceil(3/2) = 2 desired
+        assert policy.advise(self.stats(pending=3, workers=2)).is_noop
+
+    def test_queue_depth_policy_counts_stale_reclaims_as_backlog(self):
+        policy = QueueDepthPolicy(max_workers=4)
+        advice = policy.advise(self.stats(stale=4, done=6, scenarios=10))
+        assert advice.spawn >= 1
+
+    def test_no_spawn_churn_when_everything_is_leased(self):
+        # Outstanding == 0 with the grid incomplete: leased scenarios are
+        # already staffed, and a freshly spawned worker would find nothing
+        # claimable and exit — the policy must not keep spawning into that.
+        policy = QueueDepthPolicy(min_workers=1, max_workers=4)
+        assert policy.advise(self.stats(leased=2, done=8)).is_noop
+        assert policy.desired_workers(self.stats(leased=2, done=8)) == 0
+
+    def test_queue_depth_policy_retires_idle_and_on_completion(self):
+        policy = QueueDepthPolicy(min_workers=1, max_workers=4,
+                                  backlog_per_worker=2.0)
+        # Backlog shrank: only idle workers may be retired.
+        advice = policy.advise(self.stats(pending=2, leased=2, done=6,
+                                          workers=4))
+        assert advice.retire == 2 and advice.spawn == 0
+        # Mixed deployment: external workers hold the leases; an exact
+        # local idle count must not be masked by the fleet-wide leased
+        # number (workers - leased would clamp to 0 here).
+        advice = policy.advise(self.stats(pending=2, leased=5, done=3,
+                                          workers=2, idle=2))
+        assert advice.retire == 1
+        # Grid complete: everyone goes home, leased or not.
+        advice = policy.advise(self.stats(done=10, workers=3, leased=1))
+        assert advice.retire == 3
+
+    def test_never_more_workers_than_remaining_scenarios(self):
+        policy = QueueDepthPolicy(min_workers=4, max_workers=8,
+                                  backlog_per_worker=1.0)
+        advice = policy.advise(self.stats(pending=2, done=8, scenarios=10))
+        assert advice.spawn == 2  # remaining scenarios cap the pool
+
+    def test_busy_workers_reported_and_retired_last(self, tmp_path):
+        specs = grid(count=4, backend="analytic")
+        cluster = TransportCluster(tmp_path, "socket", specs)
+        try:
+            transport = cluster.transport()
+            assert transport.try_claim(0, "scaled-1")
+            status = transport.status()
+            assert status["busy_workers"] == ["scaled-1"]
+            # Stale leases and done scenarios drop out of the busy set.
+            cluster.backdate_stale_leases()
+            assert transport.status()["busy_workers"] == []
+        finally:
+            cluster.close()
+
+        class FakeProcess:
+            def __init__(self, name):
+                self.name = name
+                self.terminated = False
+
+            def is_alive(self):
+                return not self.terminated
+
+            def terminate(self):
+                self.terminated = True
+
+            def join(self, timeout=None):
+                pass
+
+        scaler = ProcessPoolScaler("127.0.0.1:1")
+        scaler._processes = [FakeProcess("scaled-1"), FakeProcess("scaled-2"),
+                             FakeProcess("scaled-3")]
+        # scaled-3 is newest but busy: the idle ones go first, newest first.
+        assert scaler._retire(2, busy_workers=["scaled-3"]) == 2
+        survivors = [p.name for p in scaler._processes]
+        assert survivors == ["scaled-3"]
+        # Shutdown takes the busy one too (completion / teardown).
+        scaler.shutdown()
+        assert scaler.live_workers == 0
+
+    def test_autoscaled_socket_sweep_completes(self, tmp_path):
+        specs = grid(count=8, backend="analytic")
+        serial = SweepRunner(specs, DURATION, master_seed=77).run()
+        # Short lease timeout: the scaler may race a status snapshot and
+        # terminate a *busy* worker (documented, protocol-safe) — its
+        # orphaned lease must go stale quickly or completion stalls for
+        # the full timeout.
+        cluster = TransportCluster(tmp_path, "socket", specs, num_shards=2,
+                                   lease_timeout=3.0)
+        scaler = ProcessPoolScaler(
+            cluster.server.address,
+            policy=QueueDepthPolicy(min_workers=1, max_workers=2,
+                                    backlog_per_worker=4.0))
+        try:
+            deadline = time.monotonic() + 120.0
+            while not cluster.server.is_complete():
+                assert time.monotonic() < deadline, "autoscaled sweep hung"
+                scaler.scale_once(cluster.server.status())
+                time.sleep(0.1)
+            # Completion advice retires the whole pool.
+            advice = scaler.scale_once(cluster.server.status())
+            assert advice.retire or scaler.live_workers == 0
+        finally:
+            scaler.shutdown()
+            cluster.close()
+        assert scaler.live_workers == 0
+        merged = cluster.coordinator.merge()
+        assert merged.outcomes == serial.outcomes
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance: socket-sharded crashy sweep == serial, no shared filesystem
+# --------------------------------------------------------------------------- #
+class TestSocketShardedEquivalence:
+    """Acceptance criterion: ≥24 scenarios over ``SocketTransport`` with 3
+    workers, stealing, one mid-grid crash, every worker in its own temp dir
+    with no shared filesystem — merged result field-for-field identical to
+    the serial ``SweepRunner``, under both backends."""
+
+    @pytest.mark.parametrize("backend,sink", [("density", "jsonl"),
+                                              ("analytic", "columnar")])
+    def test_socket_sharded_crashy_sweep_equals_serial(self, tmp_path,
+                                                       backend, sink):
+        specs = grid(backend=backend)
+        assert len(specs) >= 24
+        serial = SweepRunner(specs, DURATION, master_seed=77).run()
+
+        cluster = TransportCluster(tmp_path, "socket", specs, sink=sink)
+        # Each worker's only local state is its own private directory —
+        # nothing is shared between workers except the TCP connection.
+        worker_dirs = [tmp_path / f"machine-{i}" for i in range(3)]
+        for worker_dir in worker_dirs:
+            worker_dir.mkdir()
+        workers = [
+            ClusterWorker(cluster.transport(), "w0", shard=0,
+                          cache_dir=worker_dirs[0] / "cache",
+                          crash_after_claims=3),
+            ClusterWorker(cluster.transport(), "w1", shard=1,
+                          cache_dir=worker_dirs[1] / "cache"),
+            ClusterWorker(cluster.transport(), "w2", shard=2,
+                          cache_dir=worker_dirs[2] / "cache"),
+        ]
+        for _ in range(500):
+            progressed = False
+            for worker in workers:
+                if worker.step() is not None:
+                    progressed = True
+            if cluster.coordinator.is_complete():
+                break
+            if not progressed:
+                assert cluster.backdate_stale_leases() > 0, \
+                    "no progress and no stale lease to reclaim: deadlock"
+        else:
+            raise AssertionError("grid did not complete")
+
+        assert workers[0].crashed  # the simulated death actually happened
+        cluster.close()
+        merged = cluster.coordinator.merge()
+        assert merged.master_seed == serial.master_seed
+        assert merged.duration == serial.duration
+        assert merged.outcomes == serial.outcomes
+        assert merged == serial
+        # The survivors stole from the crashed worker's shard.
+        shard0 = set(cluster.coordinator.plan().shards[0])
+        stolen = shard0 & set(workers[1].executed + workers[2].executed)
+        assert stolen

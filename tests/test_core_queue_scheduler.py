@@ -439,11 +439,11 @@ class TestReadyListCache:
         dqp_a.add(make_request(Priority.CK), schedule_cycle=0,
                   timeout_cycle=None,
                   callback=lambda item, error: results.append((item, error)))
-        assert dqp_a.ready_items(0) == []  # ADD still in flight
+        assert dqp_a.ready_items(0) == ()  # ADD still in flight
         engine.run(until=1.0)
         (item, error), = results
         assert error is None
-        assert dqp_a.ready_items(0) == [item]
+        assert dqp_a.ready_items(0) == (item,)
 
     def test_cached_list_consistent_with_rebuild(self):
         queue = self.make_queue()
