@@ -316,6 +316,7 @@ def _manifest_segments(manifest: dict) -> list[dict]:
 
 
 def _load_columnar_segment(path: Path, segment_dir: Path, rows: int,
+                           recorded_columns=None,
                            ) -> list[tuple[int, ScenarioOutcome]]:
     def column(name: str) -> list:
         values = json.loads((segment_dir / f"{name}.json").read_text())
@@ -326,10 +327,23 @@ def _load_columnar_segment(path: Path, segment_dir: Path, rows: int,
         # the manifest (manifest is written last): trust the manifest.
         return values[:rows]
 
+    def known(name: str) -> bool:
+        # Fields added after a part was written (e.g. ``engine``) have no
+        # column in older segments; ``from_dict`` supplies their defaults.
+        # The manifest's recorded column list is authoritative: a column it
+        # names must exist (a missing file is damage, reported loudly via
+        # the read below), while an unrecorded field is skipped.  Pre-v2
+        # manifests without a column list fall back to an existence check.
+        if recorded_columns is not None:
+            return name in recorded_columns
+        return (segment_dir / f"{name}.json").exists()
+
     indices = column("index")
-    outcome_columns = {name: column(name) for name in _OUTCOME_FIELDS}
+    outcome_columns = {name: column(name) for name in _OUTCOME_FIELDS
+                       if known(name)}
     summary_columns = {name: column(f"summary.{name}")
-                       for name in _SUMMARY_FIELDS}
+                       for name in _SUMMARY_FIELDS
+                       if known(f"summary.{name}")}
     entries = []
     for row in range(rows):
         data = {name: values[row]
@@ -346,10 +360,12 @@ def _load_columnar_segment(path: Path, segment_dir: Path, rows: int,
 def _load_columnar_entries(path: Path) -> list[tuple[int, ScenarioOutcome]]:
     """Merge-on-read: concatenate the manifest's segments in append order."""
     manifest = json.loads((path / "manifest.json").read_text())
+    recorded = manifest.get("columns")
     entries: list[tuple[int, ScenarioOutcome]] = []
     for segment in _manifest_segments(manifest):
         entries.extend(_load_columnar_segment(path, path / segment["name"],
-                                              segment["rows"]))
+                                              segment["rows"],
+                                              recorded_columns=recorded))
     return entries
 
 

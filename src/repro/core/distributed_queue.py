@@ -73,6 +73,10 @@ class QueueItem:
         handling), with one audited exception: the EGP decrements
         ``pairs_remaining`` on delivery and, when it reaches zero, removes
         the item before the next readiness query.
+
+        NOTE: :meth:`LocalQueue.ready_items` inlines this predicate in its
+        rebuild loop (the per-item method call is measurable on deep
+        backlogs) — keep the two in sync when changing readiness rules.
         """
         return (self.acknowledged
                 and cycle >= self.schedule_cycle
@@ -83,7 +87,8 @@ class QueueItem:
 class LocalQueue:
     """A single priority lane of the distributed queue."""
 
-    def __init__(self, queue_id: int, max_size: int = 256) -> None:
+    def __init__(self, queue_id: int, max_size: int = 256,
+                 version_cell: Optional[list] = None) -> None:
         self.queue_id = queue_id
         self.max_size = max_size
         self._items: dict[int, QueueItem] = {}
@@ -96,6 +101,10 @@ class LocalQueue:
         self._ready_cache: Optional[list[QueueItem]] = None
         self._ready_cycle: int = -1
         self._ready_next_change: float = math.inf
+        #: Mutation counter, optionally shared with the owning
+        #: :class:`DistributedQueue` so its flattened ready tuple can verify
+        #: all lanes at once (one int compare instead of per-lane calls).
+        self._version_cell = version_cell if version_cell is not None else [0]
 
     def __len__(self) -> int:
         return len(self._items)
@@ -111,6 +120,7 @@ class LocalQueue:
     def invalidate_ready_cache(self) -> None:
         """Drop the cached ready list (any readiness-affecting mutation)."""
         self._ready_cache = None
+        self._version_cell[0] += 1
 
     def add(self, item: QueueItem) -> None:
         """Insert ``item`` keyed by its queue sequence number."""
@@ -153,11 +163,18 @@ class LocalQueue:
             return self._ready_cache
         ready = []
         next_change = math.inf
+        items = self._items
         for seq in self._order:
-            item = self._items[seq]
-            if item.is_ready(cycle):
+            item = items[seq]
+            # Inlined ``item.is_ready(cycle)``: the rebuild scans every
+            # resident item and deep MD backlogs make the per-item method
+            # call measurable on the poll hot path.
+            if not item.acknowledged or item.pairs_remaining <= 0:
+                continue
+            if (cycle >= item.schedule_cycle
+                    and cycle >= item.suspended_until_cycle):
                 ready.append(item)
-            elif item.acknowledged and item.pairs_remaining > 0:
+            else:
                 # Not ready yet, but will become ready without any further
                 # mutation once its schedule/suspension cycle passes.
                 threshold = max(item.schedule_cycle,
@@ -220,12 +237,17 @@ class DistributedQueue(Protocol):
         super().__init__(engine, name=f"DQP-{node_name}")
         self.node_name = node_name
         self.is_master = is_master
+        #: Shared mutation counter: any lane's readiness-affecting change
+        #: bumps it, which is the flat ready cache's invalidation signal.
+        self._version = [0]
         self.queues: dict[int, LocalQueue] = {
-            int(priority): LocalQueue(int(priority), max_size=max_queue_size)
+            int(priority): LocalQueue(int(priority), max_size=max_queue_size,
+                                      version_cell=self._version)
             for priority in priorities
         }
         self.window_size = window_size
         self.ack_timeout = ack_timeout
+        self._ack_timeout_name = f"{self.name}.ack_timeout"
         self.max_retries = max_retries
         self.accept_policy = accept_policy or (lambda request: True)
         self._channel: Optional[ClassicalChannel] = None
@@ -238,6 +260,11 @@ class DistributedQueue(Protocol):
         # list is the identical object it was on the previous call.
         self._flat_ready: Optional[tuple[QueueItem, ...]] = None
         self._flat_sources: tuple[list[QueueItem], ...] = ()
+        # Fast-path validity window for the flat cache: no lane mutated
+        # (version) and ``cycle`` below the earliest readiness crossing.
+        self._flat_version = -1
+        self._flat_cycle = -1
+        self._flat_next_change = -math.inf
         #: Called whenever an item is added locally (either origin).
         self.on_item_added: Optional[Callable[[QueueItem], None]] = None
         self.statistics = {"adds_sent": 0, "adds_received": 0,
@@ -342,8 +369,20 @@ class DistributedQueue(Protocol):
         between mutations, the schedulers memoise their selection on it
         (see :meth:`~repro.core.scheduler.FCFSScheduler.select`).
         """
+        # Fast path: no lane mutated since the last call and ``cycle`` is
+        # still below every lane's next readiness crossing — one int
+        # compare instead of per-lane cache checks.
+        if (self._flat_version == self._version[0]
+                and self._flat_cycle <= cycle < self._flat_next_change
+                and self._flat_ready is not None):
+            return self._flat_ready
         sources = tuple(queue.ready_items(cycle)
                         for queue in self.queues.values())
+        self._flat_version = self._version[0]
+        self._flat_cycle = cycle
+        self._flat_next_change = min(
+            (queue._ready_next_change for queue in self.queues.values()),
+            default=math.inf)
         previous = self._flat_sources
         if (self._flat_ready is not None and len(sources) == len(previous)
                 and all(a is b for a, b in zip(sources, previous))):
@@ -360,9 +399,9 @@ class DistributedQueue(Protocol):
         assert self._channel is not None
         self.statistics["adds_sent"] += 1
         self._channel.send(pending.frame)
-        self.call_after(self.ack_timeout,
-                        lambda seq=pending.comm_seq: self._check_ack(seq),
-                        name=f"{self.name}.ack_timeout")
+        self.call_after(self.ack_timeout, self._check_ack,
+                        args=(pending.comm_seq,),
+                        name=self._ack_timeout_name)
 
     def _check_ack(self, comm_seq: int) -> None:
         pending = self._pending.get(comm_seq)

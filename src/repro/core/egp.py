@@ -103,6 +103,15 @@ class EGP(Protocol):
     emission_multiplexing:
         Allow measure-directly attempts in every MHP cycle without waiting for
         the previous REPLY (Section 5.2.5).
+    elide_watchdog:
+        Skip scheduling the per-attempt lost-REPLY watchdog.  ``None``
+        (default) elides exactly when ``frame_loss_probability == 0`` — the
+        REPLY provably arrives, so the watchdog would always be cancelled
+        unfired; outcomes are bit-identical with and without it.
+    timer_elision:
+        Skip scheduling GEN/REPLY polls that would provably answer "no"
+        (see the attribute docstring).  ``False`` restores the reference
+        scheduling pattern.
     """
 
     #: Retransmission interval and limit for EXPIRE notices.
@@ -116,7 +125,9 @@ class EGP(Protocol):
                  rng: Optional[np.random.Generator] = None,
                  emission_multiplexing: bool = True,
                  attempt_batch_size: int = 1,
-                 backend=None) -> None:
+                 backend=None,
+                 elide_watchdog: Optional[bool] = None,
+                 timer_elision: bool = True) -> None:
         from repro.backends import get_backend
 
         super().__init__(engine, name=f"EGP-{node_name}")
@@ -136,6 +147,33 @@ class EGP(Protocol):
                              f"got {attempt_batch_size}")
         self.attempt_batch_size = attempt_batch_size
         self.qmm = QuantumMemoryManager(device)
+        #: Reply-watchdog elision (the ROADMAP's named hot-path item): when
+        #: the classical channels cannot lose frames the REPLY provably
+        #: arrives, so the per-attempt lost-REPLY watchdog would always be
+        #: scheduled and then cancelled — pure event churn.  Outcomes are
+        #: bit-identical either way (pinned in tier-1); pass
+        #: ``elide_watchdog=False`` to force the reference behaviour.
+        if elide_watchdog is None:
+            elide_watchdog = scenario.classical.frame_loss_probability == 0.0
+        self.elide_watchdog = bool(elide_watchdog)
+        #: Timer elision for the GEN/REPLY hot path: skip scheduling polls
+        #: that would provably answer "no" — the MHP's follow-up poll while
+        #: a blocking attempt is in flight, and the post-REPLY poll that
+        #: lands before the next K attempt may start.  Outcome-preserving:
+        #: every state change that could make an earlier poll useful
+        #: (item added, pair delivered, storage released, REPLY, watchdog)
+        #: schedules its own poll.  ``False`` restores the reference
+        #: scheduling pattern (used by benchmarks and equivalence tests).
+        self.timer_elision = bool(timer_elision)
+        #: granted_batch is pure in (request type, batch, multiplexing,
+        #: timing, loss) and all but the type are fixed per EGP — cache it.
+        self._grant_cache: dict[RequestType, object] = {}
+        #: At most one blocking attempt is in flight at a time, so a single
+        #: reusable timer serves every reply watchdog without allocating.
+        self._watchdog_timer = engine.timer(
+            self._reply_watchdog, name=f"{self.name}.reply_watchdog")
+        self._request_timeout_name = f"{self.name}.request_timeout"
+        self._expire_retry_name = f"{self.name}.expire_retry"
 
         # Wiring into the MHP and DQP.
         self.mhp.poll_callback = self.handle_poll
@@ -279,9 +317,9 @@ class EGP(Protocol):
         self.scheduler.on_enqueue(item, cycle)
         if item.timeout_cycle is not None:
             timeout_time = self.mhp.cycle_start(item.timeout_cycle)
-            self.call_at(max(timeout_time, self.now),
-                         lambda qid=item.queue_id: self._handle_timeout(qid),
-                         name=f"{self.name}.request_timeout")
+            self.call_at(max(timeout_time, self.now), self._handle_timeout,
+                         args=(item.queue_id,),
+                         name=self._request_timeout_name)
         start_time = self.mhp.cycle_start(item.schedule_cycle)
         self.mhp.notify_work(not_before=start_time)
 
@@ -299,6 +337,12 @@ class EGP(Protocol):
             return
         self.dqp.remove(queue_id)
         self.statistics["timeouts"] += 1
+        if self.timer_elision:
+            # A removal can change the scheduler's choice; a poll deferred
+            # past the K attempt spacing on the removed item's account must
+            # not starve the new selection, so wake the MHP (a no-op poll
+            # at worst).
+            self.mhp.notify_work()
         if item.request.origin == self.node_name:
             self._emit_error(ErrorMessage(create_id=item.request.create_id,
                                           error=ErrorCode.TIMEOUT,
@@ -377,11 +421,14 @@ class EGP(Protocol):
         # never goes beyond the configured batch size, while the analytic
         # backend widens the window so runs of failed cycles resolve in O(1)
         # events (Section 5.1 batched operation).
-        grant = self.backend.granted_batch(
-            request.request_type, self.attempt_batch_size,
-            self.emission_multiplexing, self.scenario.timing,
-            frame_loss_probability=(
-                self.scenario.classical.frame_loss_probability))
+        grant = self._grant_cache.get(request.request_type)
+        if grant is None:
+            grant = self.backend.granted_batch(
+                request.request_type, self.attempt_batch_size,
+                self.emission_multiplexing, self.scenario.timing,
+                frame_loss_probability=(
+                    self.scenario.classical.frame_loss_probability))
+            self._grant_cache[request.request_type] = grant
         attempt = _InFlightAttempt(
             cycle=cycle,
             queue_id=item.queue_id,
@@ -401,7 +448,8 @@ class EGP(Protocol):
                     or not self.emission_multiplexing)
         if blocking:
             self._blocking_cycle = cycle
-            attempt.watchdog = self._schedule_reply_watchdog(cycle, grant)
+            if not self.elide_watchdog:
+                attempt.watchdog = self._schedule_reply_watchdog(cycle, grant)
         if request.request_type is RequestType.KEEP:
             # Deterministic spacing of K attempts (t_attempt / r_attempt of
             # Section 4.4): both nodes derive the earliest next attempt from
@@ -429,6 +477,7 @@ class EGP(Protocol):
             create_id=request.create_id,
             max_attempts=grant.batch,
             attempt_stride=grant.stride,
+            skip_followup_poll=blocking and self.timer_elision,
         )
 
     def _reply_sync_time(self, reply: MHPReply) -> float:
@@ -439,6 +488,43 @@ class EGP(Protocol):
         nearer node idles for the delay asymmetry before its next attempt.
         """
         return max(self.now, reply.sync_close_time(self.scenario.timing))
+
+    def _notify_after_reply(self, sync: float,
+                            include_busy: bool = False) -> None:
+        """Re-arm MHP polling after a REPLY, eliding provably useless polls.
+
+        With timer elision on, the poll is deferred past (a) the device
+        busy window — ``handle_poll`` would answer "no" and re-arm at
+        ``_busy_until`` anyway — and (b) the K attempt spacing, when the
+        scheduler's current choice at the upcoming poll is a keep-type item
+        that may not start before ``_next_keep_attempt_time`` (the
+        ``keep_spacing`` early-exit would re-arm at exactly that time).
+        Both checks replicate the poll's own logic on the same state;
+        anything that changes that state before the deferred poll
+        (enqueue, delivery, release, another REPLY) schedules its own
+        poll, so no wake-up is ever lost.
+        """
+        not_before = max(self._busy_until, sync) if include_busy else sync
+        if self.timer_elision:
+            if self._busy_until > not_before:
+                not_before = self._busy_until
+            nka = self._next_keep_attempt_time
+            poll_time = self.mhp.next_poll_time(not_before)
+            if nka > poll_time + 1e-15:
+                # Preview at the cycle the poll would actually run in, so
+                # items whose schedule cycle starts between now and the
+                # poll are visible exactly as the poll would see them.
+                # The ready tuple is identity-stable between mutations, so
+                # the scheduler's memoised selection answers in O(1) on
+                # the repeat lookups of a busy lane.
+                cycle = self.mhp.next_cycle_at_or_after(poll_time)
+                ready = self.dqp.ready_items(cycle)
+                if ready:
+                    item = self.scheduler.select(ready, cycle)
+                    if (item is not None
+                            and item.request.request_type is RequestType.KEEP):
+                        not_before = max(not_before, nka)
+        self.mhp.notify_work(not_before=not_before)
 
     def _account_carbon_reinitialisation(self, attempts: int,
                                          base_time: float) -> None:
@@ -461,9 +547,7 @@ class EGP(Protocol):
         cycles = 1 if grant is None else grant.cycles
         deadline = (2 * max(timing.midpoint_delay_a, timing.midpoint_delay_b)
                     + (cycles + 20) * timing.mhp_cycle)
-        return self.call_after(deadline,
-                               lambda c=cycle: self._reply_watchdog(c),
-                               name=f"{self.name}.reply_watchdog")
+        return self._watchdog_timer.arm_after(deadline, args=(cycle,))
 
     def _reply_watchdog(self, cycle: int) -> None:
         """Recover from a REPLY that never arrived (lost classical frame)."""
@@ -510,13 +594,13 @@ class EGP(Protocol):
         if reply.error is not MHPError.NONE:
             if attempt is not None and attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work(not_before=sync)
+            self._notify_after_reply(sync)
             return
 
         if not reply.success:
             if attempt is not None and attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work(not_before=sync)
+            self._notify_after_reply(sync)
             return
 
         item = self.dqp.get(reply.queue_id) if reply.queue_id else None
@@ -531,7 +615,7 @@ class EGP(Protocol):
                 self._send_expire(reply.queue_id,
                                   create_id=attempt.create_id if attempt else 0,
                                   low=reply.sequence, high=reply.sequence)
-            self.mhp.notify_work(not_before=sync)
+            self._notify_after_reply(sync)
             return
 
         # Sequence-number processing (Protocol 2, step 3(c)iii).
@@ -548,12 +632,12 @@ class EGP(Protocol):
             self._expected_sequence = reply.sequence + 1
             if attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work(not_before=sync)
+            self._notify_after_reply(sync)
             return
         if reply.sequence < self._expected_sequence:
             if attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work(not_before=sync)
+            self._notify_after_reply(sync)
             return
         self._expected_sequence = reply.sequence + 1
         self.statistics["successes"] += 1
@@ -573,7 +657,7 @@ class EGP(Protocol):
             self._handle_timeout(item.queue_id)
             if attempt.allocation is not None:
                 self.qmm.release(attempt.allocation)
-            self.mhp.notify_work(not_before=sync)
+            self._notify_after_reply(sync)
             return
 
         if request.request_type is RequestType.KEEP:
@@ -598,7 +682,7 @@ class EGP(Protocol):
 
         if item.pairs_remaining <= 0:
             self.dqp.remove(item.queue_id)
-        self.mhp.notify_work(not_before=max(self._busy_until, sync))
+        self._notify_after_reply(sync, include_busy=True)
 
     # ------------------------------------------------------------------ #
     # Pair delivery helpers
@@ -709,9 +793,8 @@ class EGP(Protocol):
         self._peer_channel.send(pending.notice)
         pending.retries += 1
         if pending.retries <= self.EXPIRE_MAX_RETRIES:
-            self.call_after(self.EXPIRE_RETRY_INTERVAL,
-                            lambda k=key: self._retry_expire(k),
-                            name=f"{self.name}.expire_retry")
+            self.call_after(self.EXPIRE_RETRY_INTERVAL, self._retry_expire,
+                            args=(key,), name=self._expire_retry_name)
         else:
             del self._pending_expires[key]
 

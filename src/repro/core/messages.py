@@ -247,6 +247,11 @@ class PollResponse:
     #: every-cycle attempts; > 1 for K requests whose attempt spacing spans
     #: several cycles).
     attempt_stride: int = 1
+    #: Timer elision (see ``EGP.timer_elision``): the attempt blocks the EGP
+    #: until its REPLY, so the MHP's usual follow-up poll at the window end
+    #: would provably find the EGP still blocked and do nothing — the REPLY
+    #: handler re-arms polling in every branch.  The MHP skips scheduling it.
+    skip_followup_poll: bool = False
 
     @classmethod
     def no_attempt(cls) -> "PollResponse":

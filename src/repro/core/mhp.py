@@ -35,7 +35,7 @@ from repro.core.messages import GenMessage, MHPError, MHPReply, PollResponse
 from repro.hardware.pair import EntangledPair
 from repro.hardware.parameters import ScenarioConfig
 from repro.sim.channel import ClassicalChannel
-from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.engine import EventHandle, ReusableTimer, SimulationEngine
 from repro.sim.entity import Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,6 +66,11 @@ class NodeMHP(Protocol):
         #: Callback into the EGP: (MHPReply) -> None.
         self.reply_callback: Optional[Callable[[MHPReply], None]] = None
         self._channel: Optional[ClassicalChannel] = None
+        #: One reusable event object serves the whole poll series — the
+        #: MHP's fixed-cadence cycle timer is the engine's hottest customer,
+        #: and the name is precomputed for the same reason.
+        self._poll_timer: ReusableTimer = engine.timer(
+            self._poll, name=f"{self.name}.poll")
         self._next_poll_scheduled: Optional[float] = None
         #: End of the attempt window opened by the last GEN frame; no new
         #: attempt may start before it (prevents overlapping attempt streams).
@@ -112,7 +117,7 @@ class NodeMHP(Protocol):
         A small epsilon guards against floating-point rounding placing an
         exact cycle-boundary timestamp into the previous cycle.
         """
-        return int(self.now / self.cycle_time + 1e-9)
+        return int(self._engine._now / self.cycle_time + 1e-9)
 
     def cycle_start(self, cycle: int) -> float:
         """Simulation time at which ``cycle`` begins."""
@@ -125,6 +130,22 @@ class NodeMHP(Protocol):
     # ------------------------------------------------------------------ #
     # Attempt loop
     # ------------------------------------------------------------------ #
+    def next_poll_time(self, not_before: Optional[float] = None) -> float:
+        """The time :meth:`notify_work` would poll at for ``not_before``.
+
+        Exposed so the EGP can *preview* the upcoming poll (timer elision:
+        deferring a poll that would provably answer "no" requires knowing
+        exactly when it would fire).
+        """
+        now = self._engine._now
+        earliest = now if not_before is None else max(now, not_before)
+        earliest = max(earliest, self._attempt_window_end)
+        cycle = self.next_cycle_at_or_after(earliest)
+        poll_time = self.cycle_start(cycle)
+        if poll_time < now:
+            poll_time = self.cycle_start(cycle + 1)
+        return poll_time
+
     def notify_work(self, not_before: Optional[float] = None) -> None:
         """Tell the MHP that the EGP may have an attempt to make.
 
@@ -132,23 +153,18 @@ class NodeMHP(Protocol):
         ``not_before`` when given) and polls the EGP.  Polling stops again as
         soon as the EGP answers "no", so idle periods cost no events.
         """
-        earliest = self.now if not_before is None else max(self.now, not_before)
-        earliest = max(earliest, self._attempt_window_end)
-        cycle = self.next_cycle_at_or_after(earliest)
-        poll_time = self.cycle_start(cycle)
-        if poll_time < self.now:
-            poll_time = self.cycle_start(cycle + 1)
+        poll_time = self.next_poll_time(not_before)
         if (self._next_poll_scheduled is not None
                 and self._next_poll_scheduled <= poll_time + 1e-15):
             return
         self._next_poll_scheduled = poll_time
-        self.call_at(poll_time, self._poll, name=f"{self.name}.poll")
+        self._poll_timer.arm_at(poll_time)
 
     def _poll(self) -> None:
         self._next_poll_scheduled = None
         if self.poll_callback is None or self._channel is None:
             return
-        if self.now < self._attempt_window_end - 1e-15:
+        if self._engine._now < self._attempt_window_end - 1e-15:
             # A previously granted attempt window is still open (this poll was
             # scheduled before the window was extended); do not start an
             # overlapping attempt stream.
@@ -175,8 +191,12 @@ class NodeMHP(Protocol):
                                     * self.cycle_time)
         # Keep polling: the next opportunity is after the granted batch of
         # cycles; the EGP decides whether it actually wants to attempt again
-        # (e.g. it will answer "no" while waiting for a K-type REPLY).
-        self.notify_work(self._attempt_window_end)
+        # (e.g. it will answer "no" while waiting for a K-type REPLY).  For
+        # a blocking attempt the EGP asks us to skip this — the poll would
+        # provably find it still blocked, and its REPLY handler re-arms
+        # polling in every branch (as does the reply watchdog on loss).
+        if not response.skip_followup_poll:
+            self.notify_work(self._attempt_window_end)
 
 
 @dataclass
@@ -208,12 +228,18 @@ class MidpointHeraldingService(Protocol):
     backend:
         Physics backend resolving attempt outcomes; a name, an instance, or
         ``None`` for the environment default (``REPRO_BACKEND``).
+    timer_elision:
+        Collapse each delayed (batched) REPLY into a single delivery event
+        instead of a hand-over timer plus a channel event.  ``False``
+        restores the reference two-event pattern (benchmarks, equivalence
+        pinning).
     """
 
     def __init__(self, engine: SimulationEngine, scenario: ScenarioConfig,
                  rng: Optional[np.random.Generator] = None,
                  match_window: Optional[float] = None,
-                 backend: "PhysicsBackend | str | None" = None) -> None:
+                 backend: "PhysicsBackend | str | None" = None,
+                 timer_elision: bool = True) -> None:
         from repro.backends import get_backend
 
         super().__init__(engine, name="Midpoint")
@@ -226,6 +252,9 @@ class MidpointHeraldingService(Protocol):
                             + max(timing.midpoint_delay_a,
                                   timing.midpoint_delay_b))
         self.match_window = match_window
+        self.timer_elision = bool(timer_elision)
+        self._match_timeout_name = f"{self.name}.match_timeout"
+        self._batched_reply_name = f"{self.name}.batched_reply"
         self._channels: dict[str, ClassicalChannel] = {}
         self._pending: dict[int, _PendingGen] = {}
         self._sequence = 0
@@ -262,9 +291,8 @@ class MidpointHeraldingService(Protocol):
         if pending is None:
             record = _PendingGen(frame=frame, received_at=self.now)
             record.timeout = self.call_after(
-                self.match_window,
-                lambda cycle=frame.cycle: self._expire_pending(cycle),
-                name=f"{self.name}.match_timeout")
+                self.match_window, self._expire_pending,
+                args=(frame.cycle,), name=self._match_timeout_name)
             self._pending[frame.cycle] = record
             return
         if pending.frame.origin == frame.origin:
@@ -340,8 +368,12 @@ class MidpointHeraldingService(Protocol):
         channel = self._channels.get(node_name)
         if channel is None:
             raise RuntimeError(f"no channel registered for node {node_name}")
-        if delay <= 0:
+        if self.timer_elision:
+            # One event per delayed reply (delivery at delay + channel
+            # delay) instead of an intermediate hand-over event per window.
+            channel.send_delayed(reply, delay)
+        elif delay <= 0:
             channel.send(reply)
         else:
-            self.call_after(delay, lambda: channel.send(reply),
-                            name=f"{self.name}.batched_reply")
+            self.call_after(delay, channel.send, args=(reply,),
+                            name=self._batched_reply_name)

@@ -91,6 +91,9 @@ class FCFSScheduler(SchedulingStrategy):
                cycle: int) -> Optional[QueueItem]:
         if not ready_items:
             return None
+        if len(ready_items) == 1:
+            # Single candidate: no scan, no cache churn.
+            return self._cache.store(ready_items, ready_items[0])
         hit, choice = self._cache.lookup(ready_items)
         if hit:
             return choice
@@ -162,6 +165,8 @@ class WeightedFairScheduler(SchedulingStrategy):
                cycle: int) -> Optional[QueueItem]:
         if not ready_items:
             return None
+        if len(ready_items) == 1:
+            return self._cache.store(ready_items, ready_items[0])
         hit, choice = self._cache.lookup(ready_items)
         if hit:
             return choice

@@ -48,6 +48,16 @@ class LinkLayerNetwork:
         Physics backend shared by the midpoint, devices, FEUs and EGPs; a
         name, an instance, or ``None`` for the environment default
         (``REPRO_BACKEND``, falling back to ``"density"``).
+    event_queue:
+        Event-engine selection for the simulation engine (ignored when an
+        ``engine`` instance is passed): an engine name (``"heap"``,
+        ``"calendar"``, ``"ladder"``), an
+        :class:`~repro.sim.queues.EventQueue` instance, or ``None`` for the
+        environment default (``REPRO_ENGINE``, falling back to ``"heap"``).
+    elide_watchdog:
+        Forwarded to both EGPs (skip reply watchdogs that provably cannot
+        fire); ``None`` elides exactly when the scenario's frame-loss
+        probability is zero.
     """
 
     def __init__(self, scenario: ScenarioConfig,
@@ -57,12 +67,16 @@ class LinkLayerNetwork:
                  test_round_fraction: float = 0.0,
                  attempt_batch_size: int = 1,
                  engine: Optional[SimulationEngine] = None,
-                 backend=None) -> None:
+                 backend=None,
+                 event_queue=None,
+                 elide_watchdog: Optional[bool] = None,
+                 timer_elision: bool = True) -> None:
         from repro.backends import get_backend
 
         self.scenario = scenario
         self.backend = get_backend(backend)
-        self.engine = engine if engine is not None else SimulationEngine()
+        self.engine = (engine if engine is not None
+                       else SimulationEngine(queue=event_queue))
         master_rng = np.random.default_rng(seed)
         self._rngs = {name: np.random.default_rng(master_rng.integers(2 ** 63))
                       for name in ("midpoint", "device_a", "device_b",
@@ -75,7 +89,8 @@ class LinkLayerNetwork:
         # --- Midpoint and node MHPs -------------------------------------- #
         self.midpoint = MidpointHeraldingService(self.engine, scenario,
                                                  rng=self._rngs["midpoint"],
-                                                 backend=self.backend)
+                                                 backend=self.backend,
+                                                 timer_elision=timer_elision)
         self.nodes: dict[str, LinkLayerNode] = {}
         mhp_channels = {}
         for name, delay in (("A", timing.midpoint_delay_a),
@@ -124,7 +139,9 @@ class LinkLayerNetwork:
                       sched, rng=self._rngs[f"egp_{name.lower()}"],
                       emission_multiplexing=emission_multiplexing,
                       attempt_batch_size=attempt_batch_size,
-                      backend=self.backend)
+                      backend=self.backend,
+                      elide_watchdog=elide_watchdog,
+                      timer_elision=timer_elision)
             self.nodes[name] = LinkLayerNode(name=name, device=device, mhp=mhp,
                                              dqp=dqp, feu=feu, egp=egp)
 

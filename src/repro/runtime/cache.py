@@ -2,12 +2,12 @@
 
 Each completed scenario is persisted as one JSON file keyed by a hash of the
 scenario *identity* (hardware, workload, scheduler, batch size) plus the
-derived seed and simulated duration, with the resolved physics backend as a
-filename suffix.  Keeping the cache version and backend *out* of the hash —
-they were folded into it before PR 3 — means a stale or foreign entry is
-*found and reported* instead of silently missed: a sweep can tell the
-operator "skipped, written by cache version 2" rather than quietly
-recomputing.
+derived seed and simulated duration, with the resolved physics backend and
+event engine as filename suffixes.  Keeping the cache version, backend and
+engine *out* of the hash — they were folded into it before PR 3 — means a
+stale or foreign entry is *found and reported* instead of silently missed: a
+sweep can tell the operator "skipped, written by cache version 2" rather
+than quietly recomputing.
 
 Skip reasons are logged through the ``repro.runtime.cache`` logger and
 surfaced via :class:`CacheReport` (see ``SweepRunner.cache_report()``).
@@ -30,7 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
 #: Cache-format version; bump when the outcome schema or file layout changes.
 #: v3: wrapper payload {cache_version, backend, outcome} with the backend in
 #: the filename instead of the key hash; outcomes record events_processed.
-CACHE_VERSION = 3
+#: v4: the event engine joins the filename (``<key>.<backend>.<engine>.json``)
+#: and the wrapper payload; outcomes record the engine.
+CACHE_VERSION = 4
 
 #: Canonical filename of the persisted scenario cost model (see
 #: :class:`repro.cluster.planner.RecordedCostModel`): it lives next to the
@@ -111,8 +113,8 @@ class ResumeCache:
     @staticmethod
     def key(spec: "ScenarioSpec", seed: int, duration: float) -> str:
         """Hash of everything that determines a scenario's result — except
-        the backend and cache version, which live in the filename and entry
-        payload so that mismatches are detectable."""
+        the backend, engine and cache version, which live in the filename
+        and entry payload so that mismatches are detectable."""
         payload = {
             "identity": spec.identity_payload(),
             "seed": seed,
@@ -124,10 +126,14 @@ class ResumeCache:
         return digest[:20]
 
     def path(self, spec: "ScenarioSpec", seed: int, duration: float,
-             backend: Optional[str] = None) -> Path:
-        """Cache file for ``spec`` under the given (or resolved) backend."""
+             backend: Optional[str] = None,
+             engine: Optional[str] = None) -> Path:
+        """Cache file for ``spec`` under the given (or resolved) backend and
+        event engine."""
         backend = backend or spec.backend_name()
-        return self.directory / f"{self.key(spec, seed, duration)}.{backend}.json"
+        engine = engine or spec.engine_name()
+        return self.directory / (f"{self.key(spec, seed, duration)}"
+                                 f".{backend}.{engine}.json")
 
     # ------------------------------------------------------------------ #
     # Load / store
@@ -138,15 +144,17 @@ class ResumeCache:
 
         Returns ``(outcome, None)`` on a usable hit, ``(None, None)`` on a
         plain miss, and ``(None, reason)`` when an entry was found but had to
-        be skipped (wrong cache version, different backend, corrupt, or a
-        recorded failure).  Skips are logged.
+        be skipped (wrong cache version, different backend or engine,
+        corrupt, or a recorded failure).  Skips are logged.
         """
         from repro.runtime.sweep import ScenarioOutcome
 
         backend = spec.backend_name()
-        path = self.path(spec, seed, duration, backend=backend)
+        engine = spec.engine_name()
+        path = self.path(spec, seed, duration, backend=backend, engine=engine)
         if not path.exists():
-            reason = self._foreign_backend_reason(spec, seed, duration, backend)
+            reason = self._foreign_variant_reason(spec, seed, duration,
+                                                  backend, engine)
             if reason is not None:
                 self._log_skip(spec.name, reason)
             return None, reason
@@ -172,6 +180,12 @@ class ResumeCache:
                       f"{entry_backend!r}, this run resolves to {backend!r}")
             self._log_skip(spec.name, reason)
             return None, reason
+        entry_engine = data.get("engine")
+        if entry_engine != engine:
+            reason = (f"cache entry written under event engine "
+                      f"{entry_engine!r}, this run resolves to {engine!r}")
+            self._log_skip(spec.name, reason)
+            return None, reason
         try:
             outcome = ScenarioOutcome.from_dict(data["outcome"])
         except (KeyError, TypeError) as error:
@@ -190,10 +204,12 @@ class ResumeCache:
         """Persist a successful outcome (failures are never cached)."""
         if not outcome.ok:
             return
-        path = self.path(spec, outcome.seed, duration, backend=outcome.backend)
+        path = self.path(spec, outcome.seed, duration,
+                         backend=outcome.backend, engine=outcome.engine)
         payload = {
             "cache_version": CACHE_VERSION,
             "backend": outcome.backend,
+            "engine": outcome.engine,
             "outcome": outcome.to_dict(),
         }
         atomic_write_text(path, json.dumps(payload))
@@ -201,18 +217,21 @@ class ResumeCache:
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
-    def _foreign_backend_reason(self, spec: "ScenarioSpec", seed: int,
-                                duration: float,
-                                backend: str) -> Optional[str]:
-        """Report entries for the same scenario under *other* backends."""
+    def _foreign_variant_reason(self, spec: "ScenarioSpec", seed: int,
+                                duration: float, backend: str,
+                                engine: str) -> Optional[str]:
+        """Report entries for the same scenario under *other* backends or
+        event engines (including pre-v4 entries without an engine suffix)."""
         stem = self.key(spec, seed, duration)
         siblings = sorted(self.directory.glob(f"{stem}.*.json"))
         if not siblings:
             return None
         others = [path.name[len(stem) + 1:-len(".json")] for path in siblings]
-        return (f"cache entry exists only under backend(s) "
-                f"{', '.join(repr(o) for o in others)}, this run resolves "
-                f"to {backend!r}")
+        variants = ", ".join(
+            " + ".join(repr(part) for part in other.split("."))
+            for other in others)
+        return (f"cache entry exists only under {variants}, this run "
+                f"resolves to {backend!r} + {engine!r}")
 
     @staticmethod
     def _log_skip(scenario_name: str, reason: str) -> None:

@@ -30,9 +30,15 @@ class RunResult:
     seed: Optional[int] = None
     #: Resolved name of the physics backend that produced this result.
     backend: str = "density"
+    #: Resolved name of the event-engine (queue) implementation the run was
+    #: simulated on.  Engines are event-for-event equivalent, so this is
+    #: provenance, not part of the result identity — excluded from
+    #: comparison like the live handles below.
+    engine: str = field(default="heap", compare=False)
     #: Simulation events processed during the run — deterministic for a
     #: given (scenario, seed, backend), and the raw signal cost models and
-    #: benchmarks use to compare runs across machines.
+    #: benchmarks use to compare runs across machines.  Identical across
+    #: event engines (the equivalence suite pins this).
     events_processed: int = 0
     metrics: Optional[MetricsCollector] = field(default=None, repr=False,
                                                 compare=False)
@@ -70,6 +76,13 @@ class SimulationRun:
     backend:
         Physics backend for the whole run; a name, an instance, or ``None``
         for the environment default (``REPRO_BACKEND``).
+    engine:
+        Event-engine selection for the simulation; a name (``"heap"``,
+        ``"calendar"``, ``"ladder"``), an ``EventQueue`` instance, or
+        ``None`` for the environment default (``REPRO_ENGINE``).
+    elide_watchdog:
+        Forwarded to the EGPs; ``None`` skips reply watchdogs exactly when
+        the scenario cannot lose classical frames.
     """
 
     def __init__(self, scenario: ScenarioConfig,
@@ -78,14 +91,20 @@ class SimulationRun:
                  seed: Optional[int] = 12345,
                  emission_multiplexing: bool = True,
                  attempt_batch_size: int = 1,
-                 backend=None) -> None:
+                 backend=None,
+                 engine=None,
+                 elide_watchdog: Optional[bool] = None,
+                 timer_elision: bool = True) -> None:
         self.scenario = scenario
         self.seed = seed
         self.network = LinkLayerNetwork(scenario, scheduler=scheduler,
                                         seed=seed,
                                         emission_multiplexing=emission_multiplexing,
                                         attempt_batch_size=attempt_batch_size,
-                                        backend=backend)
+                                        backend=backend,
+                                        event_queue=engine,
+                                        elide_watchdog=elide_watchdog,
+                                        timer_elision=timer_elision)
         self.metrics = MetricsCollector(self.network)
         workload_seed = None if seed is None else seed + 1
         self.generator = RequestGenerator(self.network, list(workload),
@@ -106,6 +125,7 @@ class SimulationRun:
             requests_issued=self.generator.requests_issued,
             seed=self.seed,
             backend=self.network.backend.name,
+            engine=self.network.engine.queue_name,
             events_processed=self.network.engine.processed_events,
             metrics=self.metrics,
             network=self.network,
@@ -117,10 +137,14 @@ def run_scenario(scenario: ScenarioConfig, workload: Sequence[WorkloadSpec],
                  seed: Optional[int] = 12345,
                  emission_multiplexing: bool = True,
                  attempt_batch_size: int = 1,
-                 backend=None) -> RunResult:
+                 backend=None, engine=None,
+                 elide_watchdog: Optional[bool] = None,
+                 timer_elision: bool = True) -> RunResult:
     """Convenience one-shot runner used by benchmarks and examples."""
     run = SimulationRun(scenario, workload, scheduler=scheduler, seed=seed,
                         emission_multiplexing=emission_multiplexing,
                         attempt_batch_size=attempt_batch_size,
-                        backend=backend)
+                        backend=backend, engine=engine,
+                        elide_watchdog=elide_watchdog,
+                        timer_elision=timer_elision)
     return run.run(duration)

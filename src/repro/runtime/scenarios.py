@@ -104,12 +104,21 @@ class ScenarioSpec:
     #: Kept as a string (not an instance) so specs stay picklable for sweep
     #: workers and hashable for the sweep cache.
     backend: Optional[str] = None
+    #: Event-engine (queue implementation) name; ``None`` resolves through
+    #: ``REPRO_ENGINE``.  A string for the same reasons as ``backend``.
+    engine: Optional[str] = None
 
     def backend_name(self) -> str:
         """The concrete backend name this spec resolves to right now."""
         from repro.backends import resolve_backend_name
 
         return resolve_backend_name(self.backend)
+
+    def engine_name(self) -> str:
+        """The concrete event-engine name this spec resolves to right now."""
+        from repro.sim.queues import resolve_engine_name
+
+        return resolve_engine_name(self.engine)
 
     # ------------------------------------------------------------------ #
     # Serialisation and identity (cluster plans, resume cache, cost models)
@@ -136,6 +145,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "attempt_batch_size": self.attempt_batch_size,
             "backend": self.backend,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -153,18 +163,22 @@ class ScenarioSpec:
             seed=data.get("seed", 12345),
             attempt_batch_size=data.get("attempt_batch_size", 1),
             backend=data.get("backend"),
+            engine=data.get("engine"),
         )
 
     def identity_payload(self) -> dict:
         """Everything that defines the scenario *itself*.
 
-        Excludes the backend (the same scenario simulated under a different
-        physics backend shares an identity; the resume cache and cost models
-        key on ``(identity, backend)`` separately) and the legacy ``seed``
-        field (sweeps derive per-scenario seeds from the master seed).
+        Excludes the backend and the event engine (the same scenario
+        simulated under a different physics backend or queue implementation
+        shares an identity; the resume cache and cost models key on
+        ``(identity, backend)`` — with the engine recorded alongside — so
+        those dimensions stay detectable) and the legacy ``seed`` field
+        (sweeps derive per-scenario seeds from the master seed).
         """
         payload = self.to_dict()
         payload.pop("backend")
+        payload.pop("engine")
         payload.pop("seed")
         return payload
 
@@ -192,6 +206,7 @@ class ScenarioSpec:
             "hardware": self.scenario.name,
             "expected_cycles_k": self.scenario.timing.expected_cycles_per_attempt_k,
             "batch": self.attempt_batch_size,
+            "engine": self.engine_name(),
             "workloads": [{
                 "pairs": (w.num_pairs if w.num_pairs is not None
                           else w.max_pairs),
@@ -202,7 +217,8 @@ class ScenarioSpec:
 
     def run(self, duration: float, seed: Optional[int] = None,
             attempt_batch_size: Optional[int] = None,
-            backend: Optional[str] = None) -> RunResult:
+            backend: Optional[str] = None,
+            engine: Optional[str] = None) -> RunResult:
         """Build and run the scenario for ``duration`` simulated seconds."""
         batch = (self.attempt_batch_size if attempt_batch_size is None
                  else attempt_batch_size)
@@ -211,7 +227,9 @@ class ScenarioSpec:
                                    seed=self.seed if seed is None else seed,
                                    attempt_batch_size=batch,
                                    backend=backend if backend is not None
-                                   else self.backend)
+                                   else self.backend,
+                                   engine=engine if engine is not None
+                                   else self.engine)
         return simulation.run(duration)
 
 
@@ -232,6 +250,7 @@ def single_kind_scenarios(hardware: str = "Lab",
                           include_md_k255: bool = True,
                           attempt_batch_size: int = 1,
                           backend: Optional[str] = None,
+                          engine: Optional[str] = None,
                           ) -> list[ScenarioSpec]:
     """The single-kind scenario grid of the long runs (Section 6.2).
 
@@ -262,7 +281,7 @@ def single_kind_scenarios(hardware: str = "Lab",
                     specs.append(ScenarioSpec(
                         name=name, scenario=config, workload=(workload,),
                         attempt_batch_size=attempt_batch_size,
-                        backend=backend))
+                        backend=backend, engine=engine))
     return specs
 
 
@@ -271,6 +290,7 @@ def mixed_kind_scenarios(hardware: str = "QL2020",
                          schedulers: tuple[str, ...] = ("FCFS", "HigherWFQ"),
                          attempt_batch_size: int = 1,
                          backend: Optional[str] = None,
+                         engine: Optional[str] = None,
                          ) -> list[ScenarioSpec]:
     """Mixed-priority scenarios of Section 6.3 / Appendix C.2."""
     config = _hardware(hardware)
@@ -283,12 +303,13 @@ def mixed_kind_scenarios(hardware: str = "QL2020",
                                       workload=pattern.specs,
                                       scheduler=scheduler,
                                       attempt_batch_size=attempt_batch_size,
-                                      backend=backend))
+                                      backend=backend, engine=engine))
     return specs
 
 
 def table1_scenarios(hardware: str = "QL2020",
-                     backend: Optional[str] = None) -> list[ScenarioSpec]:
+                     backend: Optional[str] = None,
+                     engine: Optional[str] = None) -> list[ScenarioSpec]:
     """The two request patterns of Table 1 (uniform, and no-NL-more-MD).
 
     Pairs per request are fixed: 2 (NL), 2 (CK) and 10 (MD).
@@ -309,7 +330,8 @@ def table1_scenarios(hardware: str = "QL2020",
         for scheduler in ("FCFS", "HigherWFQ"):
             specs.append(ScenarioSpec(name=f"table1_{pattern_name}_{scheduler}",
                                       scenario=config, workload=workload,
-                                      scheduler=scheduler, backend=backend))
+                                      scheduler=scheduler, backend=backend,
+                                      engine=engine))
     return specs
 
 
@@ -321,7 +343,8 @@ def robustness_scenarios(hardware: str = "Lab",
                          loss_probabilities: tuple[float, ...] =
                          ROBUSTNESS_LOSS_PROBABILITIES,
                          attempt_batch_size: int = 1,
-                         backend: Optional[str] = None) -> list[ScenarioSpec]:
+                         backend: Optional[str] = None,
+                         engine: Optional[str] = None) -> list[ScenarioSpec]:
     """The classical frame-loss robustness scenarios of Section 6.1.
 
     Per-attempt messaging (no batching by default) so that every classical
@@ -338,7 +361,7 @@ def robustness_scenarios(hardware: str = "Lab",
         specs.append(ScenarioSpec(name=f"{hardware}_robust_loss{label}",
                                   scenario=config, workload=(workload,),
                                   attempt_batch_size=attempt_batch_size,
-                                  backend=backend))
+                                  backend=backend, engine=engine))
     return specs
 
 
@@ -347,7 +370,8 @@ def paper_grid(hardwares: tuple[str, ...] = ("Lab", "QL2020"),
                include_table1: bool = True,
                include_robustness: bool = True,
                attempt_batch_size: int = 1,
-               backend: Optional[str] = None) -> list[ScenarioSpec]:
+               backend: Optional[str] = None,
+               engine: Optional[str] = None) -> list[ScenarioSpec]:
     """The full evaluation grid of the paper's long runs — 169 scenarios.
 
     Composition (Section 6):
@@ -366,19 +390,21 @@ def paper_grid(hardwares: tuple[str, ...] = ("Lab", "QL2020"),
     specs: list[ScenarioSpec] = []
     for hardware in hardwares:
         specs.extend(single_kind_scenarios(
-            hardware, attempt_batch_size=attempt_batch_size, backend=backend))
+            hardware, attempt_batch_size=attempt_batch_size, backend=backend,
+            engine=engine))
     if include_mixed:
         for hardware in hardwares:
             specs.extend(mixed_kind_scenarios(
                 hardware, schedulers=("FCFS", "LowerWFQ", "HigherWFQ"),
-                attempt_batch_size=attempt_batch_size, backend=backend))
+                attempt_batch_size=attempt_batch_size, backend=backend,
+                engine=engine))
     if include_table1:
-        table1 = table1_scenarios(backend=backend)
+        table1 = table1_scenarios(backend=backend, engine=engine)
         for spec in table1:
             spec.attempt_batch_size = attempt_batch_size
         specs.extend(table1)
     if include_robustness:
-        specs.extend(robustness_scenarios(backend=backend))
+        specs.extend(robustness_scenarios(backend=backend, engine=engine))
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise RuntimeError("paper grid produced duplicate scenario names")

@@ -113,8 +113,14 @@ class ScenarioOutcome:
     backend: str = "density"
     #: Simulation events processed — deterministic for a given (scenario,
     #: seed, backend), so it participates in equality and pins the
-    #: serial-vs-sharded equivalence tests down to the event count.
+    #: serial-vs-sharded equivalence tests down to the event count.  The
+    #: event *engine* does not change it (engines are trace-equivalent).
     events_processed: int = 0
+    #: Resolved event-engine (queue implementation) the scenario ran on.
+    #: Engines are event-for-event equivalent, so this is provenance —
+    #: excluded from comparison so a heap sweep and a calendar sweep of the
+    #: same grid are field-for-field identical.
+    engine: str = field(default="heap", compare=False)
     wall_time: float = field(default=0.0, compare=False)
     from_cache: bool = field(default=False, compare=False)
 
@@ -144,6 +150,7 @@ class ScenarioOutcome:
             error=data.get("error"),
             backend=data.get("backend", "density"),
             events_processed=data.get("events_processed", 0),
+            engine=data.get("engine", "heap"),
             wall_time=data.get("wall_time", 0.0),
             from_cache=data.get("from_cache", False),
         )
@@ -230,6 +237,7 @@ def execute_scenario(spec: ScenarioSpec, seed: int,
             requests_issued=result.requests_issued,
             backend=result.backend,
             events_processed=result.events_processed,
+            engine=result.engine,
             wall_time=time.perf_counter() - started,
         )
     except Exception:
@@ -241,6 +249,7 @@ def execute_scenario(spec: ScenarioSpec, seed: int,
             status="error",
             error=traceback.format_exc(),
             backend=spec.backend_name(),
+            engine=spec.engine_name(),
             wall_time=time.perf_counter() - started,
         )
 

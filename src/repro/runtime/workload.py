@@ -160,14 +160,15 @@ class RequestGenerator(Entity):
         for index in range(len(self.specs)):
             self._schedule_next_arrival(index)
         if self.metrics is not None and self.queue_length_sample_interval > 0:
-            self.call_after(self.queue_length_sample_interval,
-                            self._sample_queue, name="queue_sample")
+            # A fixed-cadence sampler is exactly what schedule_periodic is
+            # for: one reusable event instead of a push per sample.
+            self.engine.schedule_periodic(self.queue_length_sample_interval,
+                                          self._sample_queue,
+                                          name="queue_sample")
 
     def _sample_queue(self) -> None:
         if self.metrics is not None:
             self.metrics.sample_queue_length()
-        self.call_after(self.queue_length_sample_interval, self._sample_queue,
-                        name="queue_sample")
 
     def _schedule_next_arrival(self, spec_index: int) -> None:
         per_cycle, _ = self._arrival_rates[spec_index]
@@ -177,7 +178,7 @@ class RequestGenerator(Entity):
         # Geometric number of cycles until the next arrival (support >= 1).
         cycles = int(self.rng.geometric(min(per_cycle, 1.0)))
         delay = cycles * cycle_time
-        self.call_after(delay, lambda index=spec_index: self._issue(index),
+        self.call_after(delay, self._issue, args=(spec_index,),
                         name="request_arrival")
 
     def _issue(self, spec_index: int) -> None:

@@ -18,19 +18,47 @@ Public API
     Periodic trigger used for MHP cycles.
 """
 
-from repro.sim.engine import SimulationEngine, Event, EventHandle
+from repro.sim.engine import (
+    Event,
+    EventHandle,
+    PeriodicHandle,
+    ReusableTimer,
+    SimulationEngine,
+    SimulationError,
+)
 from repro.sim.entity import Entity, Protocol
 from repro.sim.channel import ClassicalChannel, QuantumChannel, ChannelDelivery
 from repro.sim.clock import Clock
+from repro.sim.queues import (
+    CalendarEventQueue,
+    EventQueue,
+    HeapEventQueue,
+    LadderEventQueue,
+    available_engines,
+    default_engine_name,
+    make_event_queue,
+    resolve_engine_name,
+)
 
 __all__ = [
     "SimulationEngine",
+    "SimulationError",
     "Event",
     "EventHandle",
+    "PeriodicHandle",
+    "ReusableTimer",
     "Entity",
     "Protocol",
     "ClassicalChannel",
     "QuantumChannel",
     "ChannelDelivery",
     "Clock",
+    "EventQueue",
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "LadderEventQueue",
+    "available_engines",
+    "default_engine_name",
+    "make_event_queue",
+    "resolve_engine_name",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.engine import PeriodicHandle, SimulationEngine
 from repro.sim.entity import Entity
 
 
@@ -37,7 +37,8 @@ class Clock(Entity):
         self._listeners: list[Callable[[int], None]] = []
         self._cycle = 0
         self._running = False
-        self._next_event: Optional[EventHandle] = None
+        self._tick_name = f"{self.name}.tick"
+        self._periodic: Optional[PeriodicHandle] = None
 
     @property
     def cycle(self) -> int:
@@ -79,14 +80,17 @@ class Clock(Entity):
             return
         self._running = True
         first = max(self.offset, self.now)
-        self._next_event = self.call_at(first, self._tick, name=f"{self.name}.tick")
+        # One reusable event for the whole tick series (the engine's
+        # fixed-cadence fast path) instead of a fresh push per cycle.
+        self._periodic = self.engine.schedule_periodic(
+            self.period, self._tick, start=first, name=self._tick_name)
 
     def stop(self) -> None:
         """Stop ticking."""
         self._running = False
-        if self._next_event is not None:
-            self._next_event.cancel()
-            self._next_event = None
+        if self._periodic is not None:
+            self._periodic.cancel()
+            self._periodic = None
 
     def _tick(self) -> None:
         if not self._running:
@@ -94,5 +98,3 @@ class Clock(Entity):
         self._cycle = self.time_to_cycle(self.now)
         for listener in list(self._listeners):
             listener(self._cycle)
-        self._next_event = self.call_after(self.period, self._tick,
-                                           name=f"{self.name}.tick")

@@ -1,77 +1,173 @@
 """Event-driven simulation engine.
 
-The engine is a priority queue of timestamped events.  Time is a float in
-seconds.  Events scheduled at the same timestamp are executed in insertion
-order, which gives deterministic behaviour for protocols that schedule several
-actions "now".
+The engine executes timestamped events in ``(time, sequence)`` order.  Time
+is a float in seconds.  Events scheduled at the same timestamp are executed
+in insertion order, which gives deterministic behaviour for protocols that
+schedule several actions "now".
+
+*How* pending events are stored is pluggable: the engine delegates to an
+:class:`~repro.sim.queues.EventQueue` — the reference binary heap, a
+calendar queue tuned to the MHP cycle cadence, or a ladder/tie-bucket
+hybrid (see :mod:`repro.sim.queues`).  All implementations are
+order-equivalent; selection is by name, instance, or the ``REPRO_ENGINE``
+environment variable.
 
 The engine is deliberately minimal: the sophistication of the reproduction
-lives in the protocol and hardware models, not in the scheduler.
+lives in the protocol and hardware models, not in the scheduler.  What *is*
+here is tuned for the GEN/REPLY hot path: slim ``__slots__`` events that
+double as their own cancellation handles, positional callback arguments
+instead of per-schedule lambdas, reusable timers
+(:class:`ReusableTimer`) and periodic timers (:meth:`SimulationEngine.
+schedule_periodic`) that re-arm one event object instead of allocating a
+fresh one per cycle.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
+
+from repro.sim.queues import (
+    Event,
+    EventHandle,
+    EventQueue,
+    make_event_queue,
+)
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "PeriodicHandle",
+    "ReusableTimer",
+    "SimulationEngine",
+    "SimulationError",
+]
 
 
 class SimulationError(RuntimeError):
     """Raised when the engine is used incorrectly (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class Event:
-    """A single scheduled callback.
+class PeriodicHandle:
+    """Handle for a fixed-cadence timer created by
+    :meth:`SimulationEngine.schedule_periodic`.
 
-    Events sort by ``(time, sequence)`` so that simultaneous events run in the
-    order they were scheduled.
+    The series reuses **one** event object: after each firing the event's
+    time advances by the interval and it is pushed back, so a cycle timer
+    costs no allocation per cycle.  :meth:`cancel` stops the series; a
+    handle from before ``engine.reset()`` is inert and never re-arms.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: True once the event has left the queue (executed, skipped or
-    #: discarded); cancelling it afterwards must not touch the queue
-    #: accounting.
-    popped: bool = field(default=False, compare=False)
+    __slots__ = ("_engine", "_event", "interval", "_stopped", "_epoch",
+                 "_user_callback")
 
-
-class EventHandle:
-    """Handle returned by :meth:`SimulationEngine.schedule`.
-
-    Allows the caller to cancel the event before it fires.
-    """
-
-    def __init__(self, event: Event,
-                 engine: Optional["SimulationEngine"] = None) -> None:
-        self._event = event
+    def __init__(self, engine: "SimulationEngine", interval: float,
+                 callback: Callable[[], None], start: float,
+                 name: str) -> None:
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be > 0, "
+                                  f"got {interval}")
         self._engine = engine
+        self.interval = interval
+        self._stopped = False
+        self._epoch = engine._epoch
+        self._user_callback = callback
+        self._event = Event(start, next(engine._counter), self._fire, (),
+                            name, engine)
+        engine._queue.push(self._event)
+
+    def _fire(self) -> None:
+        self._user_callback()
+        engine = self._engine
+        if self._stopped or self._epoch != engine._epoch:
+            return
+        event = self._event
+        event.time += self.interval
+        event.sequence = next(engine._counter)
+        engine._queue.push(event)
 
     @property
-    def time(self) -> float:
-        """Timestamp at which the event will fire."""
+    def active(self) -> bool:
+        """Whether the series will keep firing."""
+        return (not self._stopped and self._epoch == self._engine._epoch)
+
+    @property
+    def next_time(self) -> float:
+        """Timestamp of the next firing (meaningless once cancelled)."""
         return self._event.time
 
-    @property
-    def cancelled(self) -> bool:
-        """Whether the event has been cancelled."""
-        return self._event.cancelled
+    def cancel(self) -> None:
+        """Stop the series; the queued occurrence (if any) is cancelled."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._epoch == self._engine._epoch:
+            self._event.cancel()
+
+
+class ReusableTimer:
+    """A re-armable one-shot timer that recycles its event object.
+
+    Protocol timers with at most one outstanding occurrence (the MHP poll,
+    the EGP reply watchdog) previously allocated a fresh event + handle +
+    closure per arm; a :class:`ReusableTimer` re-arms the same
+    :class:`Event` once it has fired.  If the previous occurrence is still
+    pending (or cancelled but still resident in the queue), :meth:`arm_at`
+    schedules an independent fresh event instead, so arming is always safe
+    and the event trace is identical to per-arm scheduling.
+    """
+
+    __slots__ = ("_engine", "_callback", "_name", "_event", "_epoch")
+
+    def __init__(self, engine: "SimulationEngine",
+                 callback: Callable[..., None], name: str = "") -> None:
+        self._engine = engine
+        self._callback = callback
+        self._name = name
+        self._event: Optional[Event] = None
+        self._epoch = engine._epoch
+
+    def arm_at(self, time: float, args: tuple = ()) -> EventHandle:
+        """Schedule the callback at absolute ``time``; returns the handle."""
+        engine = self._engine
+        if time < engine._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} (now is {engine._now})")
+        event = self._event
+        if (event is not None and event.popped
+                and self._epoch == engine._epoch):
+            event.time = float(time)
+            event.sequence = next(engine._counter)
+            event.args = args
+            event.cancelled = False
+            engine._queue.push(event)
+            return event
+        event = Event(float(time), next(engine._counter), self._callback,
+                      args, self._name, engine)
+        engine._queue.push(event)
+        self._event = event
+        self._epoch = engine._epoch
+        return event
+
+    def arm_after(self, delay: float, args: tuple = ()) -> EventHandle:
+        """Schedule the callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.arm_at(self._engine._now + delay, args=args)
 
     def cancel(self) -> None:
-        """Cancel the event.  A cancelled event is skipped by the engine.
+        """Cancel the pending occurrence, if any."""
+        event = self._event
+        if (event is not None and self._epoch == self._engine._epoch
+                and not event.popped):
+            event.cancel()
 
-        Cancelling an event that already fired (or was discarded) is a
-        harmless no-op for the queue accounting.
-        """
-        if self._event.cancelled:
-            return
-        self._event.cancelled = True
-        if self._engine is not None and not self._event.popped:
-            self._engine._note_cancelled()
+    @property
+    def active(self) -> bool:
+        """Whether an occurrence is currently pending."""
+        event = self._event
+        return (event is not None and self._epoch == self._engine._epoch
+                and event.is_pending)
 
 
 class SimulationEngine:
@@ -81,6 +177,11 @@ class SimulationEngine:
     ----------
     start_time:
         Initial simulation time in seconds (default ``0.0``).
+    queue:
+        Event-queue implementation: an engine name (``"heap"``,
+        ``"calendar"``, ``"ladder"``), an
+        :class:`~repro.sim.queues.EventQueue` instance, or ``None`` for the
+        environment default (``REPRO_ENGINE``, falling back to ``"heap"``).
 
     Examples
     --------
@@ -92,17 +193,21 @@ class SimulationEngine:
     [1.0]
     """
 
-    #: Minimum number of cancelled events in the heap before a compaction is
-    #: even considered (avoids churn on tiny queues).
-    COMPACTION_MIN_CANCELLED = 64
-
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0,
+                 queue: Union[None, str, EventQueue] = None) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        self._queue = make_event_queue(queue)
+        self._queue.clear(self._now)
         self._counter = itertools.count()
         self._running = False
         self._processed = 0
-        self._cancelled_in_queue = 0
+        #: Bumped by :meth:`reset`; reusable/periodic timers from an older
+        #: epoch refuse to re-arm their stale event objects.
+        self._epoch = 0
+        #: Optional event-trace sink: when set to a list, every executed
+        #: event appends ``(time, sequence, name)``.  The engine-equivalence
+        #: tests pin these traces across queue implementations.
+        self.trace: Optional[list] = None
 
     @property
     def now(self) -> float:
@@ -110,38 +215,71 @@ class SimulationEngine:
         return self._now
 
     @property
+    def queue_name(self) -> str:
+        """Registry name of the event-queue implementation in use."""
+        return self._queue.name
+
+    @property
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still in the queue."""
-        return len(self._queue) - self._cancelled_in_queue
+        return self._queue.live_count
 
     @property
     def processed_events(self) -> int:
         """Number of events executed so far."""
         return self._processed
 
-    def schedule_at(self, time: float, callback: Callable[[], None],
-                    name: str = "") -> EventHandle:
-        """Schedule ``callback`` to run at absolute simulation time ``time``."""
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    name: str = "", args: tuple = ()) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute time ``time``.
+
+        Passing ``args`` instead of binding a lambda avoids a closure
+        allocation per schedule on hot paths.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time} (now is {self._now})")
-        event = Event(time=float(time), sequence=next(self._counter),
-                      callback=callback, name=name)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event, engine=self)
+        event = Event(float(time), next(self._counter), callback, args,
+                      name, self)
+        self._queue.push(event)
+        return event
 
-    def schedule_after(self, delay: float, callback: Callable[[], None],
-                       name: str = "") -> EventHandle:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+    def schedule_after(self, delay: float, callback: Callable[..., None],
+                       name: str = "", args: tuple = ()) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self._now + delay, callback, name=name)
+        return self.schedule_at(self._now + delay, callback, name=name,
+                                args=args)
 
-    def schedule_now(self, callback: Callable[[], None],
-                     name: str = "") -> EventHandle:
+    def schedule_now(self, callback: Callable[..., None],
+                     name: str = "", args: tuple = ()) -> EventHandle:
         """Schedule ``callback`` to run at the current time, after pending
         events with the same timestamp."""
-        return self.schedule_at(self._now, callback, name=name)
+        return self.schedule_at(self._now, callback, name=name, args=args)
+
+    def schedule_periodic(self, interval: float,
+                          callback: Callable[[], None],
+                          start: Optional[float] = None,
+                          name: str = "") -> PeriodicHandle:
+        """Schedule ``callback`` every ``interval`` seconds.
+
+        The first firing is at ``start`` (default ``now + interval``); the
+        series re-arms **after** the callback returns, exactly as a
+        callback that re-schedules itself would, but reusing one event
+        object instead of allocating one per cycle.  Returns a
+        :class:`PeriodicHandle` whose ``cancel()`` stops the series.
+        """
+        first = self._now + interval if start is None else float(start)
+        if first < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {first} (now is {self._now})")
+        return PeriodicHandle(self, float(interval), callback, first, name)
+
+    def timer(self, callback: Callable[..., None],
+              name: str = "") -> ReusableTimer:
+        """A :class:`ReusableTimer` bound to this engine."""
+        return ReusableTimer(self, callback, name=name)
 
     def step(self) -> bool:
         """Run the next (non-cancelled) event.
@@ -149,17 +287,15 @@ class SimulationEngine:
         Returns ``True`` if an event was executed, ``False`` if the queue is
         empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            event.popped = True
-            if event.cancelled:
-                self._cancelled_in_queue -= 1
-                continue
-            self._now = event.time
-            event.callback()
-            self._processed += 1
-            return True
-        return False
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        if self.trace is not None:
+            self.trace.append((event.time, event.sequence, event.name))
+        event.callback(*event.args)
+        self._processed += 1
+        return True
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
@@ -168,12 +304,14 @@ class SimulationEngine:
         Parameters
         ----------
         until:
-            Stop once simulation time reaches this value (events scheduled at
-            exactly ``until`` are executed).  ``None`` runs until the queue is
-            empty.
+            Stop once simulation time reaches this value (events scheduled
+            at exactly ``until`` are executed).  ``None`` runs until the
+            queue is empty.  When the queue drains before ``until`` — or
+            holds only cancelled events — the clock still advances to
+            ``until``.
         max_events:
             Optional safety limit on the number of events executed in this
-            call.
+            call (the clock is left at the last executed event).
 
         Returns
         -------
@@ -181,71 +319,43 @@ class SimulationEngine:
             The simulation time at which the run stopped.
         """
         self._running = True
+        queue = self._queue
+        trace = self.trace
         executed = 0
         try:
-            while self._queue:
-                if max_events is not None and executed >= max_events:
+            while max_events is None or executed < max_events:
+                event = queue.pop_due(until)
+                if event is None:
+                    # Queue empty, or the next event lies beyond ``until``:
+                    # either way the clock advances to the bound.
+                    if until is not None and until > self._now:
+                        self._now = until
                     break
-                next_event = self._peek()
-                if next_event is None:
-                    break
-                if until is not None and next_event.time > until:
-                    self._now = until
-                    break
-                if not self.step():
-                    break
+                self._now = event.time
+                if trace is not None:
+                    trace.append((event.time, event.sequence, event.name))
+                event.callback(*event.args)
+                self._processed += 1
                 executed += 1
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
         finally:
             self._running = False
         return self._now
 
-    def _peek(self) -> Optional[Event]:
-        """Return the next non-cancelled event without removing it."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue).popped = True
-            self._cancelled_in_queue -= 1
-        return self._queue[0] if self._queue else None
-
-    def _note_cancelled(self) -> None:
-        """Record a cancellation and lazily compact the heap.
-
-        Cancelled events stay in the heap until popped, so protocols that
-        cancel many timers (reply watchdogs, match timeouts) would otherwise
-        grow the queue without bound on long runs.  Once cancelled events
-        outnumber live ones the heap is rebuilt without them; amortised the
-        compaction is O(1) per cancellation.
-        """
-        self._cancelled_in_queue += 1
-        if (self._cancelled_in_queue >= self.COMPACTION_MIN_CANCELLED
-                and 2 * self._cancelled_in_queue > len(self._queue)):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop cancelled events and restore the heap invariant.
-
-        Event ordering is total — ``(time, sequence)`` with a unique
-        sequence — so rebuilding the heap cannot change the order in which
-        the remaining events fire.
-        """
-        live = []
-        for event in self._queue:
-            if event.cancelled:
-                event.popped = True
-            else:
-                live.append(event)
-        self._queue = live
-        heapq.heapify(self._queue)
-        self._cancelled_in_queue = 0
+    def _note_cancelled(self, event: Event) -> None:
+        """Forward a cancellation to the queue's accounting (compaction is
+        the queue's business — bucket-local where the structure allows)."""
+        self._queue.note_cancelled(event)
 
     def reset(self, start_time: float = 0.0) -> None:
-        """Clear the queue and reset the clock.  Mostly useful in tests."""
-        for event in self._queue:
-            event.popped = True
-        self._queue.clear()
+        """Clear the queue and reset the clock.  Mostly useful in tests.
+
+        Handles, reusable timers and periodic handles obtained **before**
+        the reset become inert: cancelling them is a no-op for the new
+        epoch's accounting, and they can never re-arm or resurrect events
+        into the fresh queue.
+        """
+        self._queue.clear(float(start_time))
         self._now = float(start_time)
         self._counter = itertools.count()
         self._processed = 0
-        self._cancelled_in_queue = 0
+        self._epoch += 1

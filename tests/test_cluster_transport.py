@@ -254,8 +254,9 @@ class TestTransportContract:
         serial = run_sweep(specs, DURATION, master_seed=77,
                            cache_dir=cache_dir)
         # Corrupt one entry; leave another readable only under a foreign
-        # backend by rewriting its filename suffix.
-        entries = sorted(cache_dir.glob("*.analytic.json"))
+        # backend by rewriting its filename suffix (v4 layout:
+        # ``<key>.<backend>.<engine>.json``).
+        entries = sorted(cache_dir.glob("*.analytic.*.json"))
         assert len(entries) == 4
         entries[0].write_text("{torn")
         entries[1].rename(entries[1].with_name(
@@ -269,7 +270,7 @@ class TestTransportContract:
         assert report.counts() == {"hits": 2, "misses": 0, "skips": 2}
         reasons = sorted(skip.reason for skip in report.skips)
         assert "corrupt cache entry" in reasons[1]
-        assert "only under backend(s) 'density'" in reasons[0]
+        assert "exists only under 'density'" in reasons[0]
         merged = cluster.coordinator.merge()
         assert merged.outcomes == serial.outcomes
 

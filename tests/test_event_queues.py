@@ -1,0 +1,514 @@
+"""Cross-implementation tests for the pluggable event-queue layer.
+
+Every behaviour here is pinned for **all** `EventQueue` implementations —
+the heap reference, the calendar queue and the ladder/tie-bucket hybrid
+must be order-equivalent operation for operation (PR 5 tentpole).  The
+heap-specific compaction internals stay in ``test_sim_engine.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.queues import (
+    CalendarEventQueue,
+    available_engines,
+    default_engine_name,
+    make_event_queue,
+    resolve_engine_name,
+)
+
+ENGINES = ("heap", "calendar", "ladder")
+
+
+@pytest.fixture(params=ENGINES)
+def any_engine(request):
+    return SimulationEngine(queue=request.param)
+
+
+class TestRegistry:
+    def test_available_engines(self):
+        assert available_engines() == ["calendar", "heap", "ladder"]
+
+    def test_default_is_heap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert default_engine_name() == "heap"
+        assert SimulationEngine().queue_name == "heap"
+
+    def test_env_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "calendar")
+        assert default_engine_name() == "calendar"
+        assert SimulationEngine().queue_name == "calendar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown event engine"):
+            resolve_engine_name("btree")
+        with pytest.raises(ValueError, match="unknown event engine"):
+            SimulationEngine(queue="btree")
+
+    def test_instances_are_fresh(self):
+        assert make_event_queue("calendar") is not make_event_queue("calendar")
+
+    def test_instance_passthrough(self):
+        queue = make_event_queue("ladder")
+        engine = SimulationEngine(queue=queue)
+        assert engine._queue is queue
+        assert engine.queue_name == "ladder"
+
+
+class TestCoreBehaviour:
+    """The engine-facing contract, identical for every implementation."""
+
+    def test_time_order(self, any_engine):
+        fired = []
+        for t in (3.0, 1.0, 2.0):
+            any_engine.schedule_at(t, lambda t=t: fired.append(t))
+        any_engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_same_timestamp_fifo(self, any_engine):
+        fired = []
+        for label in "abcdef":
+            any_engine.schedule_at(1.0, lambda l=label: fired.append(l))
+        any_engine.run()
+        assert fired == list("abcdef")
+
+    def test_same_timestamp_fifo_interleaved_with_pops(self, any_engine):
+        engine = any_engine
+        fired = []
+
+        def first():
+            fired.append("first")
+            # Scheduled *at the current time* mid-execution: runs after the
+            # other already-queued same-timestamp events.
+            engine.schedule_at(1.0, lambda: fired.append("late"))
+
+        engine.schedule_at(1.0, first)
+        engine.schedule_at(1.0, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second", "late"]
+
+    def test_cancellation_and_pending_counts(self, any_engine):
+        engine = any_engine
+        handles = [engine.schedule_at(float(i), lambda: None)
+                   for i in range(10)]
+        assert engine.pending_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+            handle.cancel()  # double cancel counts once
+        assert engine.pending_events == 6
+        engine.run()
+        assert engine.pending_events == 0
+        assert engine.processed_events == 6
+
+    def test_run_until_semantics(self, any_engine):
+        engine = any_engine
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        engine.schedule_at(5.0, lambda: fired.append(5))
+        engine.run(until=2.0)  # events at the bound are executed
+        assert fired == [1, 2]
+        assert engine.now == 2.0
+        engine.run(until=10.0)
+        assert fired == [1, 2, 5]
+        assert engine.now == 10.0  # clock advances past the last event
+
+    def test_run_until_with_empty_queue_advances_clock(self, any_engine):
+        assert any_engine.run(until=7.5) == 7.5
+        assert any_engine.now == 7.5
+
+    def test_run_until_with_only_cancelled_events_advances_clock(
+            self, any_engine):
+        engine = any_engine
+        engine.schedule_at(1.0, lambda: None).cancel()
+        engine.schedule_at(3.0, lambda: None).cancel()
+        assert engine.run(until=5.0) == 5.0
+        assert engine.now == 5.0
+        assert engine.processed_events == 0
+
+    def test_run_until_landing_in_empty_bucket_region(self, any_engine):
+        # A long empty stretch between event clusters: the bound lands in
+        # the middle of it (for the calendar queue: inside an empty bucket
+        # year), and later events stay intact.
+        engine = any_engine
+        fired = []
+        for i in range(20):
+            engine.schedule_at(0.001 * i, lambda i=i: fired.append(i))
+        engine.schedule_at(1000.0, lambda: fired.append("far"))
+        engine.run(until=500.0)
+        assert fired == list(range(20))
+        assert engine.now == 500.0
+        engine.run()
+        assert fired[-1] == "far"
+        assert engine.now == 1000.0
+
+    def test_max_events_leaves_clock_on_last_event(self, any_engine):
+        engine = any_engine
+        for i in range(10):
+            engine.schedule_at(float(i), lambda: None)
+        engine.run(max_events=3)
+        assert engine.processed_events == 3
+        assert engine.now == 2.0
+
+    def test_schedule_in_past_raises(self, any_engine):
+        engine = any_engine
+        engine.schedule_at(4.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_callback_args(self, any_engine):
+        seen = []
+        any_engine.schedule_at(1.0, lambda a, b: seen.append((a, b)),
+                               args=("x", 2))
+        any_engine.run()
+        assert seen == [("x", 2)]
+
+
+class TestFarFutureOverflow:
+    """Far-future timers ride the calendar's overflow ladder (and must
+    behave identically on the other implementations)."""
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_overflow_promotion_fires_in_order(self, engine_name):
+        engine = SimulationEngine(queue=engine_name)
+        fired = []
+        # Dense near-future cluster sets a narrow calendar width...
+        for i in range(64):
+            engine.schedule_at(1e-5 * i, lambda i=i: fired.append(i))
+        # ...so these are far beyond the calendar horizon (overflow ladder).
+        engine.schedule_at(50.0, lambda: fired.append("far-a"))
+        engine.schedule_at(75.0, lambda: fired.append("far-b"))
+        engine.schedule_at(50.0 + 1e-9, lambda: fired.append("far-a2"))
+        engine.run()
+        assert fired[:64] == list(range(64))
+        assert fired[64:] == ["far-a", "far-a2", "far-b"]
+
+    def test_calendar_uses_overflow_for_far_timers(self):
+        queue = CalendarEventQueue()
+        engine = SimulationEngine(queue=queue)
+        for i in range(32):
+            engine.schedule_at(1e-5 * i, lambda: None)
+        engine.run(until=1e-5 * 40)
+        far = engine.schedule_at(1e6, lambda: None)
+        assert len(queue._overflow) == 1  # parked on the ladder
+        fired = []
+        engine.schedule_at(1e6 - 1.0, lambda: fired.append("near"))
+        engine.run()
+        assert fired == ["near"]
+        assert far.popped and not far.cancelled
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_push_after_overflow_promotion_keeps_order(self, engine_name):
+        # Regression: promoting the overflow year (triggered by a peek on
+        # an empty calendar, no pop) must not make later pushes at much
+        # earlier times sequence after the promoted events.
+        engine = SimulationEngine(queue=engine_name)
+        fired = []
+        engine.schedule_at(1000.0, lambda: fired.append("far"))
+        engine.run(until=1.0)  # peeks, promoting the overflow year
+        cancelled = engine.schedule_at(2.0, lambda: fired.append("a"))
+        cancelled.cancel()  # invalidates any cached head
+        engine.schedule_at(3.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["b", "far"]
+        assert engine.now == 1000.0
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_cancelled_far_future_timer_never_fires(self, engine_name):
+        engine = SimulationEngine(queue=engine_name)
+        fired = []
+        for i in range(32):
+            engine.schedule_at(1e-5 * i, lambda: fired.append("near"))
+        handle = engine.schedule_at(1e5, lambda: fired.append("far"))
+        handle.cancel()
+        engine.run()
+        assert "far" not in fired
+        assert engine.pending_events == 0
+
+
+class TestCancelCompactInterleavings:
+    """Mass-cancellation patterns must stay bounded and order-preserving."""
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_watchdog_pattern_stays_bounded(self, engine_name):
+        engine = SimulationEngine(queue=engine_name)
+        fired = 0
+
+        def tick(step=[0]):
+            nonlocal fired
+            fired += 1
+            step[0] += 1
+            if step[0] < 2000:
+                engine.schedule_at(engine.now + 10.0, lambda: None).cancel()
+                engine.schedule_at(engine.now + 0.001, tick)
+
+        engine.schedule_at(0.0, tick)
+        engine.run()
+        assert fired == 2000
+        # Cancelled watchdogs must not accumulate without bound.
+        assert len(engine._queue) <= 256
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_cancel_then_compact_preserves_order(self, engine_name):
+        engine = SimulationEngine(queue=engine_name)
+        fired = []
+        keep = [engine.schedule_at(float(i), lambda i=i: fired.append(i))
+                for i in range(100)]
+        doomed = [engine.schedule_at(i * 0.5 + 0.25,
+                                     lambda: fired.append("doomed"))
+                  for i in range(300)]
+        # Cancel in an interleaved pattern (front, back, middle).
+        for handle in doomed[::2] + doomed[-1::-3]:
+            handle.cancel()
+        for handle in doomed:
+            if not handle.cancelled:
+                handle.cancel()
+        engine.run()
+        assert fired == list(range(100))
+        assert all(not h.cancelled for h in keep)
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_cancel_same_timestamp_subset(self, engine_name):
+        engine = SimulationEngine(queue=engine_name)
+        fired = []
+        handles = [engine.schedule_at(1.0, lambda i=i: fired.append(i))
+                   for i in range(20)]
+        for handle in handles[3:17:2]:
+            handle.cancel()
+        engine.run()
+        expected = [i for i in range(20) if not (3 <= i < 17 and (i - 3) % 2 == 0)]
+        assert fired == expected
+
+
+class TestRandomizedEquivalence:
+    """Fuzz: random schedule/cancel/run interleavings must produce the
+    exact same execution trace on every implementation."""
+
+    def _run_script(self, engine_name, script):
+        engine = SimulationEngine(queue=engine_name)
+        engine.trace = []
+        handles = []
+        for op in script:
+            if op[0] == "run_until":
+                engine.run(until=op[1])
+            elif op[0] == "schedule":
+                handles.append(engine.schedule_at(
+                    max(op[1], engine.now), lambda: None, name=f"e{len(handles)}"))
+            elif op[0] == "nested":
+                # A callback that schedules more events when it fires.
+                def nested(offsets=op[1]):
+                    for offset in offsets:
+                        engine.schedule_after(offset, lambda: None,
+                                              name="nested")
+                handles.append(engine.schedule_at(
+                    max(op[2], engine.now), nested, name="nest"))
+            elif op[0] == "cancel":
+                if handles:
+                    handles[op[1] % len(handles)].cancel()
+        engine.run()
+        return engine.trace
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_fuzzed_traces_identical(self, seed):
+        rnd = random.Random(seed)
+        script = []
+        t = 0.0
+        for _ in range(400):
+            roll = rnd.random()
+            if roll < 0.55:
+                # Mix of cycle-aligned, tied, near and far-future times.
+                kind = rnd.random()
+                if kind < 0.4:
+                    when = t + rnd.randrange(1, 50) * 1e-5
+                elif kind < 0.6:
+                    when = t + 1e-4  # deliberate ties
+                elif kind < 0.9:
+                    when = t + rnd.random() * 0.01
+                else:
+                    when = t + 10 ** rnd.randrange(1, 6)
+                script.append(("schedule", when))
+            elif roll < 0.7:
+                script.append(("cancel", rnd.randrange(0, 1 << 16)))
+            elif roll < 0.85:
+                offsets = [rnd.random() * 1e-3 for _ in range(rnd.randrange(1, 4))]
+                script.append(("nested", offsets, t + rnd.random() * 0.01))
+            else:
+                t += rnd.random() * 0.05
+                script.append(("run_until", t))
+        reference = self._run_script("heap", script)
+        assert reference  # the fuzz actually executed something
+        for engine_name in ("calendar", "ladder"):
+            assert self._run_script(engine_name, script) == reference, \
+                f"{engine_name} trace diverged from heap (seed {seed})"
+
+
+class TestPeriodicScheduling:
+    def test_periodic_fires_on_cadence(self, any_engine):
+        engine = any_engine
+        ticks = []
+        engine.schedule_periodic(0.5, lambda: ticks.append(engine.now))
+        engine.run(until=2.6)
+        assert ticks == [0.5, 1.0, 1.5, 2.0, 2.5]
+
+    def test_periodic_custom_start(self, any_engine):
+        engine = any_engine
+        ticks = []
+        engine.schedule_periodic(1.0, lambda: ticks.append(engine.now),
+                                 start=0.25)
+        engine.run(until=2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_periodic_reuses_one_event_object(self):
+        engine = SimulationEngine(queue="heap")
+        handle = engine.schedule_periodic(1.0, lambda: None)
+        event = handle._event
+        engine.run(until=10.0)
+        assert handle._event is event  # same object across 10 firings
+        assert engine.processed_events == 10
+
+    def test_periodic_cancel_stops_series(self, any_engine):
+        engine = any_engine
+        ticks = []
+        handle = engine.schedule_periodic(1.0, lambda: ticks.append(1))
+        engine.run(until=2.5)
+        handle.cancel()
+        assert not handle.active
+        engine.run(until=10.0)
+        assert ticks == [1, 1]
+        assert engine.pending_events == 0
+
+    def test_periodic_cancel_from_inside_callback(self, any_engine):
+        engine = any_engine
+        ticks = []
+        handle = engine.schedule_periodic(
+            1.0, lambda: (ticks.append(1),
+                          handle.cancel() if len(ticks) >= 3 else None))
+        engine.run(until=20.0)
+        assert ticks == [1, 1, 1]
+
+    def test_periodic_interval_must_be_positive(self, any_engine):
+        with pytest.raises(SimulationError):
+            any_engine.schedule_periodic(0.0, lambda: None)
+
+    def test_periodic_interleaves_fifo_with_plain_events(self, any_engine):
+        engine = any_engine
+        order = []
+        engine.schedule_periodic(1.0, lambda: order.append("tick"))
+        engine.schedule_at(1.0, lambda: order.append("plain"))
+        engine.run(until=1.0)
+        # The periodic series was scheduled first, so its occurrence at
+        # t=1.0 fires before the plain event at the same timestamp.
+        assert order == ["tick", "plain"]
+
+
+class TestReusableTimer:
+    def test_timer_rearms_same_event_object(self, any_engine):
+        engine = any_engine
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.arm_at(1.0)
+        engine.run()
+        first_event = timer._event
+        timer.arm_at(2.0)
+        assert timer._event is first_event  # recycled, not reallocated
+        engine.run()
+        assert fired == [1.0, 2.0]
+
+    def test_timer_arm_while_pending_schedules_independent_event(
+            self, any_engine):
+        engine = any_engine
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.arm_at(2.0)
+        timer.arm_at(1.0)  # earlier arm while the first is still pending
+        engine.run()
+        assert fired == [1.0, 2.0]  # both occurrences fire
+
+    def test_timer_cancel(self, any_engine):
+        engine = any_engine
+        fired = []
+        timer = engine.timer(lambda: fired.append(1))
+        timer.arm_after(1.0)
+        assert timer.active
+        timer.cancel()
+        assert not timer.active
+        engine.run()
+        assert fired == []
+
+    def test_timer_args_per_arm(self, any_engine):
+        engine = any_engine
+        seen = []
+        timer = engine.timer(lambda tag: seen.append(tag))
+        timer.arm_at(1.0, args=("a",))
+        engine.run()
+        timer.arm_at(2.0, args=("b",))
+        engine.run()
+        assert seen == ["a", "b"]
+
+
+class TestResetInertness:
+    """Satellite: handles from before ``reset()`` must be inert — they can
+    never resurrect accounting or re-arm into the fresh queue."""
+
+    def test_cancel_of_stale_handle_does_not_corrupt_accounting(
+            self, any_engine):
+        engine = any_engine
+        stale = engine.schedule_at(1.0, lambda: None)
+        engine.reset()
+        engine.schedule_at(1.0, lambda: None)
+        assert engine.pending_events == 1
+        stale.cancel()  # must not decrement the new queue's live count
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.processed_events == 1
+
+    def test_cancelled_then_reset_then_cancelled_again(self, any_engine):
+        engine = any_engine
+        handle = engine.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        engine.reset()
+        handle.cancel()
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.pending_events == 1
+
+    def test_periodic_from_before_reset_never_rearms(self, any_engine):
+        engine = any_engine
+        ticks = []
+        handle = engine.schedule_periodic(1.0, lambda: ticks.append(1))
+        engine.run(until=1.5)
+        assert ticks == [1]
+        engine.reset()
+        assert not handle.active
+        engine.run(until=20.0)
+        assert ticks == [1]
+        assert engine.pending_events == 0
+
+    def test_reusable_timer_from_before_reset_allocates_fresh(
+            self, any_engine):
+        engine = any_engine
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.arm_at(1.0)
+        engine.run()
+        stale_event = timer._event
+        engine.reset()
+        timer.arm_at(3.0)  # must not resurrect the pre-reset event object
+        assert timer._event is not stale_event
+        engine.run()
+        assert fired == [1.0, 3.0]
+
+    def test_reset_restarts_clock_and_counters(self, any_engine):
+        engine = any_engine
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        engine.reset(start_time=2.0)
+        assert engine.now == 2.0
+        assert engine.processed_events == 0
+        assert engine.pending_events == 0
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)

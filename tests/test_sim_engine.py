@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.queues import HeapEventQueue
 
 
 class TestScheduling:
@@ -152,10 +153,16 @@ class TestCancellation:
 
 
 class TestLazyCompaction:
-    """Cancelled events must not accumulate in the heap or inflate counts."""
+    """Cancelled events must not accumulate in the heap or inflate counts.
+
+    These tests poke heap-queue internals, so they pin ``queue="heap"``
+    explicitly — the suite also runs under ``REPRO_ENGINE=calendar`` in CI,
+    and the generic cross-implementation behaviours live in
+    ``test_event_queues.py``.
+    """
 
     def test_pending_events_counts_live_only(self):
-        engine = SimulationEngine()
+        engine = SimulationEngine(queue="heap")
         handles = [engine.schedule_at(float(i), lambda: None)
                    for i in range(10)]
         assert engine.pending_events == 10
@@ -164,7 +171,7 @@ class TestLazyCompaction:
         assert engine.pending_events == 6
 
     def test_double_cancel_counts_once(self):
-        engine = SimulationEngine()
+        engine = SimulationEngine(queue="heap")
         engine.schedule_at(1.0, lambda: None)
         handle = engine.schedule_at(2.0, lambda: None)
         handle.cancel()
@@ -172,7 +179,7 @@ class TestLazyCompaction:
         assert engine.pending_events == 1
 
     def test_compaction_shrinks_heap(self):
-        engine = SimulationEngine()
+        engine = SimulationEngine(queue="heap")
         keep = [engine.schedule_at(1000.0 + i, lambda: None)
                 for i in range(10)]
         doomed = [engine.schedule_at(float(i), lambda: None)
@@ -183,12 +190,12 @@ class TestLazyCompaction:
         # Cancelled events outnumber live ones: the heap was compacted down
         # to the live events plus at most the compaction trigger threshold.
         assert len(engine._queue) <= \
-            10 + SimulationEngine.COMPACTION_MIN_CANCELLED
+            10 + HeapEventQueue.COMPACTION_MIN_CANCELLED
         assert engine.pending_events == 10
         assert all(not handle.cancelled for handle in keep)
 
     def test_compaction_preserves_firing_order(self):
-        engine = SimulationEngine()
+        engine = SimulationEngine(queue="heap")
         fired = []
         for i in range(300):
             engine.schedule_at(float(i), lambda i=i: fired.append(i))
@@ -200,7 +207,7 @@ class TestLazyCompaction:
         assert fired == list(range(300))
 
     def test_popping_cancelled_events_updates_counter(self):
-        engine = SimulationEngine()
+        engine = SimulationEngine(queue="heap")
         handles = [engine.schedule_at(float(i), lambda: None)
                    for i in range(30)]
         for handle in handles[:20]:
@@ -210,7 +217,7 @@ class TestLazyCompaction:
         assert engine.processed_events == 10
 
     def test_long_run_with_many_cancellations_stays_bounded(self):
-        engine = SimulationEngine()
+        engine = SimulationEngine(queue="heap")
         fired = 0
 
         def tick(step=[0]):
@@ -226,10 +233,10 @@ class TestLazyCompaction:
         engine.schedule_at(0.0, tick)
         engine.run()
         assert fired == 2000
-        assert len(engine._queue) <= SimulationEngine.COMPACTION_MIN_CANCELLED * 2
+        assert len(engine._queue) <= HeapEventQueue.COMPACTION_MIN_CANCELLED * 2
 
     def test_cancel_after_fire_is_a_noop_for_accounting(self):
-        engine = SimulationEngine()
+        engine = SimulationEngine(queue="heap")
         handle = engine.schedule_at(1.0, lambda: None)
         live = engine.schedule_at(2.0, lambda: None)
         engine.run(until=1.5)
@@ -239,7 +246,7 @@ class TestLazyCompaction:
         assert engine.pending_events == 0
 
     def test_cancel_after_reset_is_a_noop_for_accounting(self):
-        engine = SimulationEngine()
+        engine = SimulationEngine(queue="heap")
         handle = engine.schedule_at(1.0, lambda: None)
         engine.reset()
         handle.cancel()
