@@ -25,12 +25,25 @@ Pieces (see each module's docstring for the protocol details):
   (``python -m repro.cluster.serve``).
 * :mod:`repro.cluster.scaling` — worker autoscaling: :class:`ScalePolicy`
   advice from queue depth, applied by a local :class:`ProcessPoolScaler`.
+* :mod:`repro.cluster.faults` — deterministic fault injection: a seeded
+  :class:`FaultSchedule` driving a :class:`FaultyTransport` that drops,
+  duplicates, resets, delays and replays protocol operations, crashes
+  workers at chosen points and skews per-process clocks — the adversary
+  the protocol's idempotent operations and skew-tolerant leases are
+  verified against.
 * :mod:`repro.cluster.sinks` — streaming result sinks (JSON, crash-safe
   JSONL, dependency-free chunked columnar) that merge back into one
   canonical :class:`~repro.runtime.sweep.SweepResult`.
 """
 
 from repro.cluster.coordinator import ClusterCoordinator, ClusterPlan
+from repro.cluster.faults import (
+    FaultDecision,
+    FaultSchedule,
+    FaultyTransport,
+    InjectedFault,
+    InjectedWorkerCrash,
+)
 from repro.cluster.planner import (
     CostModel,
     RecordedCostModel,
@@ -71,7 +84,12 @@ __all__ = [
     "ClusterWorker",
     "ColumnarResultSink",
     "CostModel",
+    "FaultDecision",
+    "FaultSchedule",
+    "FaultyTransport",
     "FilesystemTransport",
+    "InjectedFault",
+    "InjectedWorkerCrash",
     "JsonResultSink",
     "JsonlResultSink",
     "ProcessPoolScaler",

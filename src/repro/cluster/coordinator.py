@@ -73,9 +73,14 @@ def done_path(cluster_dir: Path, index: int) -> Path:
 
 
 def atomic_write_json(path: Path, payload: dict, indent: Optional[int] = None,
-                      ) -> None:
-    """Write JSON via the shared atomic tmp-and-rename idiom."""
-    atomic_write_text(path, json.dumps(payload, indent=indent))
+                      durable: bool = False) -> None:
+    """Write JSON via the shared atomic tmp-and-rename idiom.
+
+    ``durable`` fsyncs before the rename — done markers must never become
+    visible while the sink record they vouch for could still be lost.
+    """
+    atomic_write_text(path, json.dumps(payload, indent=indent),
+                      durable=durable)
 
 
 @dataclass
@@ -90,6 +95,10 @@ class ClusterPlan:
     seeds: list[int]
     specs: list[ScenarioSpec]
     shard_plan: ShardPlan
+    #: Seconds of cross-machine clock disagreement the lease protocol
+    #: absorbs before declaring a lease stale (filesystem transport: lease
+    #: mtimes are written by one machine's clock and read by another's).
+    clock_skew_tolerance: float = 5.0
 
     def to_dict(self) -> dict:
         """JSON-serialisable plan document."""
@@ -100,6 +109,7 @@ class ClusterPlan:
             "duration": self.duration,
             "sink": self.sink,
             "lease_timeout": self.lease_timeout,
+            "clock_skew_tolerance": self.clock_skew_tolerance,
             "cache_dir": self.cache_dir,
             "seeds": list(self.seeds),
             "specs": [spec.to_dict() for spec in self.specs],
@@ -117,6 +127,7 @@ class ClusterPlan:
             duration=data["duration"],
             sink=data["sink"],
             lease_timeout=data["lease_timeout"],
+            clock_skew_tolerance=data.get("clock_skew_tolerance", 5.0),
             cache_dir=data.get("cache_dir"),
             seeds=list(data["seeds"]),
             specs=[ScenarioSpec.from_dict(entry) for entry in data["specs"]],
@@ -161,6 +172,15 @@ class ClusterCoordinator:
         abandoned and may be stolen.  Must comfortably exceed the heartbeat
         interval (it does by construction: workers heartbeat at a third of
         this) — it does *not* need to exceed scenario runtime.
+    clock_skew_tolerance:
+        Extra seconds of observed lease age forgiven before a lease counts
+        as stale.  On the filesystem transport, lease mtimes are written by
+        the owning worker's machine and read by every other machine; a
+        reader whose clock runs ahead of the writer's inflates every
+        observed age by the skew, and without this slack a *healthy*
+        worker's lease would be falsely taken over.  The socket transport
+        computes all ages on the coordinator's single clock, where this
+        merely adds caution.
     cache_dir:
         Optional shared resume-cache directory (see
         :class:`~repro.runtime.cache.ResumeCache`).
@@ -173,6 +193,7 @@ class ClusterCoordinator:
                  cost_model: Optional[CostModel] = None,
                  sink: str = "jsonl",
                  lease_timeout: float = 60.0,
+                 clock_skew_tolerance: float = 5.0,
                  cache_dir: Optional[str | Path] = None) -> None:
         self.specs = list(specs)
         if duration <= 0:
@@ -186,6 +207,8 @@ class ClusterCoordinator:
                              f"expected one of {sorted(SINK_KINDS)}")
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
+        if clock_skew_tolerance < 0:
+            raise ValueError("clock_skew_tolerance must be non-negative")
         self.duration = duration
         self.cluster_dir = Path(cluster_dir)
         self.master_seed = (master_seed if master_seed is not None
@@ -194,6 +217,7 @@ class ClusterCoordinator:
         self.cost_model = cost_model
         self.sink = sink
         self.lease_timeout = lease_timeout
+        self.clock_skew_tolerance = clock_skew_tolerance
         self.cache_dir = None if cache_dir is None else str(cache_dir)
         self._shard_plan: Optional[ShardPlan] = None
 
@@ -234,6 +258,7 @@ class ClusterCoordinator:
             duration=self.duration,
             sink=self.sink,
             lease_timeout=self.lease_timeout,
+            clock_skew_tolerance=self.clock_skew_tolerance,
             cache_dir=self.cache_dir,
             seeds=derive_scenario_seeds(self.master_seed, len(self.specs)),
             specs=self.specs,
@@ -313,6 +338,9 @@ class ClusterCoordinator:
         per_shard = []
         totals = {"done": 0, "leased": 0, "stale": 0, "pending": 0}
         owners: set = set()
+        # Same staleness rule the transports apply: forgive up to the skew
+        # tolerance of observed age before declaring a lease abandoned.
+        stale_after = self.lease_timeout + self.clock_skew_tolerance
         for shard in plan.shards:
             counts = {"done": 0, "leased": 0, "stale": 0, "pending": 0}
             for index in shard:
@@ -325,7 +353,7 @@ class ClusterCoordinator:
                 except OSError:
                     counts["pending"] += 1
                     continue
-                if age >= self.lease_timeout:
+                if age >= stale_after:
                     counts["stale"] += 1
                     continue
                 counts["leased"] += 1

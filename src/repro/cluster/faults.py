@@ -1,0 +1,321 @@
+"""Deterministic fault injection for the cluster protocol.
+
+The link layer the source paper defines is characterised by how it behaves
+under loss, delay, duplication and reordering — this module applies the same
+discipline to our own coordinator/worker protocol.  A
+:class:`FaultyTransport` wraps any :class:`~repro.cluster.transport.Transport`
+and adversarially perturbs its operations:
+
+* **drop** — the request never reaches the coordinator (the caller sees a
+  connection error before delivery);
+* **reset** — the request *is* applied but the response is lost mid-flight
+  (the caller cannot tell whether the operation happened — the classic
+  at-least-once ambiguity idempotent operations exist to absorb);
+* **duplicate** — the request is delivered twice (a retransmitted frame);
+* **stale replay** — after the current operation, the *previous* operation
+  is delivered again (an old frame arriving late, i.e. reordering);
+* **delay** — the request is held briefly before delivery;
+* **crash** — the worker dies at a chosen claim/submit point
+  (:class:`InjectedWorkerCrash` propagates out of the worker loop, leaving
+  its lease to go stale exactly like a machine loss);
+* **clock skew** — the wrapped filesystem transport reads and writes lease
+  times on a clock offset from true time, exercising the skew-tolerance
+  lease math.
+
+Every decision is a pure function of ``(seed, operation, nth call of that
+operation)`` — see :meth:`FaultSchedule.decide` — so a failing run is
+replayable from its seed alone regardless of thread interleaving, and the
+consumed schedule can be dumped (:meth:`FaultSchedule.to_dict`) as a CI
+artifact.
+
+Like a real client, :class:`FaultyTransport` retries operations whose
+delivery failed: the whole protocol is idempotent
+(:data:`~repro.cluster.transport.IDEMPOTENT_OPS`), so retrying a possibly
+applied operation is safe by contract.  A fault burst longer than the retry
+budget surfaces as an :class:`InjectedFault` (a ``TransportError``), which
+the worker loop already treats as a coordinator outage.
+
+The invariant under all of this stays the cluster package's gold standard:
+a faulted sweep merges **field-for-field identical** to a serial
+``SweepRunner`` run (``tests/test_cluster_faults.py``,
+``examples/fault_injection_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.cluster.transport import (
+    FilesystemTransport,
+    SocketTransport,
+    TaskSnapshot,
+    Transport,
+    TransportError,
+)
+from repro.runtime.sweep import ScenarioOutcome
+
+#: Operations faults are injected into by default.  ``plan`` is excluded:
+#: it is fetched once while the transport is being constructed, before the
+#: wrapper exists to mediate it.
+DEFAULT_FAULT_OPS = frozenset({
+    "register", "snapshot", "claim", "heartbeat", "submit",
+})
+
+
+class InjectedFault(TransportError):
+    """A scheduled drop/reset that exhausted the retry budget.
+
+    A ``TransportError`` subclass on purpose: to the worker loop an
+    injected fault burst is indistinguishable from a real coordinator
+    outage, and must be handled by the same code path.
+    """
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """A scheduled worker death at a claim/submit point.
+
+    Deliberately *not* a ``TransportError``: the transport did not fail —
+    the worker process is gone.  It propagates out of
+    ``ClusterWorker.run()`` so the harness can abandon the worker, whose
+    unheartbeated lease then goes stale and is reclaimed by a peer, exactly
+    like a machine lost mid-scenario.
+    """
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What happens to one delivery attempt of one operation."""
+
+    #: Request lost before delivery — not applied, caller sees an error.
+    drop: bool = False
+    #: Connection reset after delivery — applied, caller sees an error.
+    reset: bool = False
+    #: Request delivered twice (second response discarded).
+    duplicate: bool = False
+    #: After this operation, redeliver the previous operation (stale frame).
+    replay_stale: bool = False
+    #: Seconds to hold the request before delivery.
+    delay: float = 0.0
+    #: Worker death: ``None``, ``"before"`` (op not applied) or ``"after"``
+    #: (op applied, worker dies before using the response).
+    crash: Optional[str] = None
+
+    @property
+    def is_clean(self) -> bool:
+        """No fault at all on this delivery."""
+        return not (self.drop or self.reset or self.duplicate
+                    or self.replay_stale or self.delay or self.crash)
+
+
+@dataclass
+class FaultSchedule:
+    """Seeded, replayable fault plan over protocol operations.
+
+    Rates are independent per-delivery probabilities.  Decisions are a pure
+    function of ``(seed, op, n)`` where ``n`` counts deliveries of ``op``
+    through this schedule — thread interleaving between different
+    operations cannot change any individual decision, so a failure
+    reproduces from the seed alone.
+    """
+
+    seed: int = 0
+    #: P(request lost before delivery) per attempt.
+    drop: float = 0.0
+    #: P(connection reset after delivery) per attempt.
+    reset: float = 0.0
+    #: P(request delivered twice).
+    duplicate: float = 0.0
+    #: P(previous operation redelivered after this one).
+    replay: float = 0.0
+    #: P(delivery held for ``delay_seconds``).
+    delay: float = 0.0
+    delay_seconds: float = 0.002
+    #: Seconds added to the wrapped process's wall clock (filesystem
+    #: transport lease reads/writes) — simulated cross-machine skew.
+    clock_skew: float = 0.0
+    #: Crash the worker on the ``crash_call``-th delivery of ``crash_op``
+    #: (``"claim"`` / ``"submit"``), ``"before"`` or ``"after"`` applying it.
+    crash_op: Optional[str] = None
+    crash_call: int = 1
+    crash_mode: str = "after"
+    #: Operations the probabilistic faults apply to.
+    fault_ops: frozenset = DEFAULT_FAULT_OPS
+
+    def __post_init__(self) -> None:
+        if self.crash_mode not in ("before", "after"):
+            raise ValueError(f"crash_mode must be 'before' or 'after', "
+                             f"got {self.crash_mode!r}")
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        #: Every non-clean decision taken, as ``(op, n, decision)`` — the
+        #: replay log dumped into CI artifacts on a mismatch.
+        self.injected: list[tuple[str, int, FaultDecision]] = []
+
+    def decide(self, op: str) -> FaultDecision:
+        """The (deterministic) fate of the next delivery of ``op``."""
+        with self._lock:
+            n = self._counts.get(op, 0) + 1
+            self._counts[op] = n
+        crash = None
+        if op == self.crash_op and n == self.crash_call:
+            crash = self.crash_mode
+        if op in self.fault_ops:
+            rng = random.Random(f"{self.seed}:{op}:{n}")
+            decision = FaultDecision(
+                drop=rng.random() < self.drop,
+                reset=rng.random() < self.reset,
+                duplicate=rng.random() < self.duplicate,
+                replay_stale=rng.random() < self.replay,
+                delay=(self.delay_seconds
+                       if rng.random() < self.delay else 0.0),
+                crash=crash,
+            )
+        else:
+            decision = FaultDecision(crash=crash)
+        if not decision.is_clean:
+            with self._lock:
+                self.injected.append((op, n, decision))
+        return decision
+
+    def to_dict(self) -> dict:
+        """Replayable description: the seed, rates and every injected fault."""
+        return {
+            "seed": self.seed,
+            "rates": {"drop": self.drop, "reset": self.reset,
+                      "duplicate": self.duplicate, "replay": self.replay,
+                      "delay": self.delay},
+            "delay_seconds": self.delay_seconds,
+            "clock_skew": self.clock_skew,
+            "crash": {"op": self.crash_op, "call": self.crash_call,
+                      "mode": self.crash_mode},
+            "injected": [{"op": op, "call": n,
+                          "faults": [name for name in
+                                     ("drop", "reset", "duplicate",
+                                      "replay_stale", "crash")
+                                     if getattr(decision, name)]}
+                         for op, n, decision in self.injected],
+        }
+
+
+class FaultyTransport(Transport):
+    """Adversarial wrapper applying a :class:`FaultSchedule` to a transport.
+
+    Faults are injected *around* the inner transport's operations — the
+    wrapper plays both the unreliable network and the disciplined client:
+    a drop or reset raises internally and is retried (every protocol
+    operation is idempotent, so retrying a possibly-applied request is
+    safe), mirroring :meth:`SocketTransport.request`'s retry path; a burst
+    outlasting ``max_retries`` surfaces as :class:`InjectedFault`.
+
+    Construct directly over any transport, or use :meth:`over_filesystem` /
+    :meth:`over_socket` to also wire in the schedule's simulated clock skew.
+    """
+
+    def __init__(self, inner: Transport, schedule: FaultSchedule,
+                 max_retries: int = 8, retry_delay: float = 0.002) -> None:
+        self.inner = inner
+        self.schedule = schedule
+        self.max_retries = max(0, int(max_retries))
+        self.retry_delay = max(0.0, retry_delay)
+        self.kind = f"faulty+{inner.kind}"
+        self.plan = inner.plan
+        #: The previous applied operation, for stale-replay redelivery.
+        self._last: Optional[tuple[str, Callable, tuple]] = None
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def over_filesystem(cls, cluster_dir: "str | Path",
+                        schedule: FaultSchedule,
+                        **kwargs) -> "FaultyTransport":
+        """Faulty shared-directory transport whose process clock is offset
+        by the schedule's ``clock_skew`` (lease mtime writes *and* reads)."""
+        skew = schedule.clock_skew
+        inner = FilesystemTransport(cluster_dir,
+                                    clock=lambda: time.time() + skew)
+        return cls(inner, schedule, **kwargs)
+
+    @classmethod
+    def over_socket(cls, address: "str | tuple[str, int]",
+                    schedule: FaultSchedule, **kwargs) -> "FaultyTransport":
+        """Faulty TCP transport.  The schedule's ``clock_skew`` is recorded
+        but has no pathway into the protocol: the coordinator is the single
+        clock authority for socket workers, which is exactly the property
+        the acceptance tests pin (a skewed worker cannot perturb leases)."""
+        inner = SocketTransport(address)
+        return cls(inner, schedule, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Fault application
+    # ------------------------------------------------------------------ #
+    def _apply(self, op: str, func: Callable, *args):
+        """Deliver ``func(*args)`` under the schedule's faults for ``op``."""
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                time.sleep(self.retry_delay)
+            decision = self.schedule.decide(op)
+            if decision.crash == "before":
+                raise InjectedWorkerCrash(
+                    f"injected crash before {op!r} "
+                    f"(call {self.schedule._counts[op]})")
+            if decision.delay:
+                time.sleep(decision.delay)
+            if decision.drop:
+                if attempt < self.max_retries:
+                    continue  # idempotent: safe to re-send
+                raise InjectedFault(f"injected drop of {op!r} outlasted "
+                                    f"{self.max_retries} retries")
+            with self._lock:
+                result = func(*args)
+                if decision.duplicate:
+                    func(*args)  # retransmitted frame; response discarded
+                if decision.replay_stale and self._last is not None:
+                    _, last_func, last_args = self._last
+                    last_func(*last_args)  # stale frame arriving late
+                self._last = (op, func, args)
+            if decision.crash == "after":
+                raise InjectedWorkerCrash(
+                    f"injected crash after {op!r} "
+                    f"(call {self.schedule._counts[op]})")
+            if decision.reset:
+                # Applied, but the caller must not know: retry — the
+                # redelivery is exactly the duplicate-submission /
+                # double-claim case the idempotent protocol absorbs.
+                if attempt < self.max_retries:
+                    continue
+                raise InjectedFault(f"injected reset of {op!r} outlasted "
+                                    f"{self.max_retries} retries")
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # Transport contract
+    # ------------------------------------------------------------------ #
+    def register_worker(self, worker_id: str, shard: Optional[int]) -> int:
+        return self._apply("register", self.inner.register_worker,
+                           worker_id, shard)
+
+    def snapshot(self) -> TaskSnapshot:
+        return self._apply("snapshot", self.inner.snapshot)
+
+    def try_claim(self, index: int, worker_id: str) -> bool:
+        return self._apply("claim", self.inner.try_claim, index, worker_id)
+
+    def heartbeat(self, index: int, worker_id: str) -> bool:
+        return self._apply("heartbeat", self.inner.heartbeat,
+                           index, worker_id)
+
+    def submit_result(self, worker_id: str, index: int,
+                      outcome: ScenarioOutcome, attempt: int = 0) -> None:
+        return self._apply("submit", self.inner.submit_result,
+                           worker_id, index, outcome, attempt)
+
+    def close(self) -> None:
+        self.inner.close()

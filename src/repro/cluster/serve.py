@@ -138,7 +138,8 @@ class ClusterCoordinatorServer(socketserver.ThreadingTCPServer):
             if op == "submit":
                 outcome = ScenarioOutcome.from_dict(frame["outcome"])
                 self.local.submit_result(str(frame["worker_id"]),
-                                         self._checked_index(frame), outcome)
+                                         self._checked_index(frame), outcome,
+                                         attempt=int(frame.get("attempt", 0)))
                 return {"ok": True}
             if op == "status":
                 return {"ok": True, "status": self.status()}
@@ -216,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lease-timeout", type=float, default=60.0,
                         help="seconds without a heartbeat before a lease "
                              "may be taken over")
+    parser.add_argument("--skew-tolerance", type=float, default=5.0,
+                        help="extra seconds of observed lease age forgiven "
+                             "for cross-machine clock skew before a lease "
+                             "counts as stale")
     parser.add_argument("--batch", type=int, default=50,
                         help="MHP attempt batch size")
     parser.add_argument("--backend", default=None,
@@ -268,6 +273,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         specs, args.duration, args.cluster_dir, master_seed=args.seed,
         num_shards=args.shards, sink=args.sink,
         lease_timeout=args.lease_timeout,
+        clock_skew_tolerance=args.skew_tolerance,
         cache_dir=args.cache_dir or None)
     server = ClusterCoordinatorServer(coordinator, (args.host, args.port),
                                       reset=args.reset)

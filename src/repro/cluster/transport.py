@@ -33,6 +33,21 @@ a 4-byte big-endian length prefix followed by one UTF-8 JSON object.
 Requests carry ``{"op": <name>, ...}``; responses carry ``{"ok": true, ...}``
 or ``{"ok": false, "error": <message>}``.  One request is answered by exactly
 one response, in order, per connection.
+
+Delivery semantics: every protocol operation is **idempotent** — claims
+re-grant to their current owner, registrations return the recorded shard,
+submits are deduplicated on ``(task_index, worker_id, attempt)`` and by the
+done marker, heartbeats are pure refreshes.  A client that loses the
+connection mid-request therefore cannot tell whether the operation was
+applied, *and does not need to*: :meth:`SocketTransport.request` retries
+idempotent operations with bounded backoff, and a duplicate delivery
+commutes into a no-op.  Lease ages are computed on a single clock
+authority — the coordinator's clock for the socket transport, and
+mtime-relative with a configurable skew tolerance for the filesystem
+transport (see ``ClusterPlan.clock_skew_tolerance``) — so cross-machine
+clock skew cannot fake a stale lease.  ``repro.cluster.faults`` injects
+drops, duplicates, resets, delays, stale replays, crashes and skew against
+exactly these guarantees.
 """
 
 from __future__ import annotations
@@ -46,7 +61,7 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.cluster.coordinator import (
     RESULTS_DIR,
@@ -62,6 +77,17 @@ from repro.runtime.sweep import ScenarioOutcome
 
 class TransportError(RuntimeError):
     """A transport operation failed (protocol error, connection loss, ...)."""
+
+
+#: Operations that are safe to deliver more than once: claims re-grant to
+#: their owner, registrations return the recorded shard, submits dedupe on
+#: ``(index, worker_id, attempt)``, heartbeats are pure refreshes, and the
+#: read-only ops (plan/snapshot/status) have no effect at all.  Only these
+#: may be retried after a connection error whose outcome is unknown — which,
+#: after this set grew to cover the whole protocol, is every operation.
+IDEMPOTENT_OPS = frozenset({
+    "plan", "register", "snapshot", "claim", "heartbeat", "submit", "status",
+})
 
 
 # --------------------------------------------------------------------------- #
@@ -175,6 +201,9 @@ class Transport(ABC):
     * :meth:`submit_result` is **durable before it returns**, and records the
       result *before* the done marker — a crash between the two re-executes
       the scenario (harmless, deterministic) rather than losing it.
+    * Every operation is **idempotent** (see :data:`IDEMPOTENT_OPS`): a
+      duplicated or retried delivery commutes into a no-op, so a caller that
+      cannot tell whether a request was applied may simply send it again.
     """
 
     #: Transport name used in logs and tests.
@@ -203,8 +232,14 @@ class Transport(ABC):
 
     @abstractmethod
     def submit_result(self, worker_id: str, index: int,
-                      outcome: ScenarioOutcome) -> None:
-        """Durably record ``outcome`` and then mark ``index`` done."""
+                      outcome: ScenarioOutcome, attempt: int = 0) -> None:
+        """Durably record ``outcome`` and then mark ``index`` done.
+
+        ``attempt`` distinguishes separate *executions* by the same worker
+        from duplicate *deliveries* of one execution: re-sending a submit
+        with the same ``(index, worker_id, attempt)`` key (a retry after a
+        connection reset whose first delivery may have been applied) writes
+        the sink record at most once."""
 
     def close(self) -> None:
         """Release connections / flush sinks."""
@@ -226,10 +261,20 @@ class FilesystemTransport(Transport):
     kind = "filesystem"
 
     def __init__(self, cluster_dir: str | Path,
-                 plan: Optional[ClusterPlan] = None) -> None:
+                 plan: Optional[ClusterPlan] = None,
+                 clock: Callable[[], float] = time.time) -> None:
         self.cluster_dir = Path(cluster_dir)
         self.plan = plan if plan is not None else ClusterPlan.load(cluster_dir)
+        #: This process's notion of wall-clock time.  Lease mtimes are
+        #: written from it explicitly (instead of the filesystem's implicit
+        #: "now") so fault injection can simulate a machine whose clock is
+        #: skewed — and so the skew-tolerance math is testable at all.
+        self.clock = clock
         self._sinks: dict[str, ResultSink] = {}
+        #: Submit deliveries already applied by this process, keyed on
+        #: ``(index, worker_id, attempt)`` — duplicate deliveries (retries
+        #: after a reset, duplicated frames) skip the sink write.
+        self._applied_submits: set[tuple[int, str, int]] = set()
         # Reentrant: submit_result holds it across the sink lookup *and* the
         # write — when this instance backs the TCP coordinator, a client
         # that timed out and reconnected can have two server threads
@@ -237,21 +282,46 @@ class FilesystemTransport(Transport):
         # one sink would tear the part.
         self._lock = threading.RLock()
 
+    @property
+    def _stale_after(self) -> float:
+        """Observed lease age at which a lease counts as abandoned.
+
+        The lease timeout plus the plan's clock-skew tolerance: an observed
+        age mixes the writer's clock (mtime) with the reader's (now), so up
+        to ``clock_skew_tolerance`` seconds of the age may be clock
+        disagreement rather than missed heartbeats.
+        """
+        return self.plan.lease_timeout + self.plan.clock_skew_tolerance
+
     # -- registration -------------------------------------------------- #
     def register_worker(self, worker_id: str, shard: Optional[int]) -> int:
         workers_dir = self.cluster_dir / WORKERS_DIR
         num_shards = self.plan.shard_plan.num_shards
         with self._lock:
             workers_dir.mkdir(parents=True, exist_ok=True)
+            record = workers_dir / f"{worker_id}.json"
+            if record.exists():
+                # Idempotent re-registration (a retried register frame, or a
+                # resurrected worker with the same id): return the recorded
+                # shard instead of re-counting registrations — counting
+                # again would round-robin the duplicate onto a *different*
+                # shard.
+                try:
+                    recorded = json.loads(record.read_text()).get("shard")
+                except (OSError, json.JSONDecodeError):
+                    recorded = None
+                if recorded is not None and (shard is None
+                                             or shard == recorded):
+                    return int(recorded)
             if shard is None:
                 existing = len(list(workers_dir.glob("*.json")))
                 shard = existing % num_shards
             if not 0 <= shard < num_shards:
                 raise TransportError(f"shard {shard} out of range "
                                      f"(plan has {num_shards} shards)")
-            atomic_write_json(workers_dir / f"{worker_id}.json",
+            atomic_write_json(record,
                               {"worker_id": worker_id, "shard": shard,
-                               "registered_at": time.time()})
+                               "registered_at": self.clock()})
         return shard
 
     def registered_workers(self) -> int:
@@ -266,13 +336,24 @@ class FilesystemTransport(Transport):
         return done_path(self.cluster_dir, index).exists()
 
     def _lease_age(self, index: int) -> Optional[float]:
+        """Observed lease age on *this* process's clock, raw (no tolerance)."""
         try:
-            return time.time() - lease_path(self.cluster_dir,
-                                            index).stat().st_mtime
+            return self.clock() - lease_path(self.cluster_dir,
+                                             index).stat().st_mtime
         except OSError:
             return None
 
     def snapshot(self) -> TaskSnapshot:
+        """Done/lease state with **skew-adjusted** lease ages.
+
+        Reported ages are the observed age minus the skew tolerance (floored
+        at zero), so a consumer comparing them against the plain lease
+        timeout — :meth:`TaskSnapshot.is_available` — applies exactly the
+        single staleness rule of this transport, and up to
+        ``clock_skew_tolerance`` seconds of clock disagreement between the
+        lease writer and this reader can never fake a stale lease.
+        """
+        tolerance = self.plan.clock_skew_tolerance
         done = set()
         lease_ages = {}
         for index in range(len(self.plan.specs)):
@@ -281,35 +362,52 @@ class FilesystemTransport(Transport):
                 continue
             age = self._lease_age(index)
             if age is not None:
-                lease_ages[index] = age
+                lease_ages[index] = max(0.0, age - tolerance)
         return TaskSnapshot(done=frozenset(done), lease_ages=lease_ages)
+
+    def _touch(self, lease: Path) -> None:
+        """Stamp the lease mtime from this process's (possibly skewed) clock."""
+        now = self.clock()
+        os.utime(lease, (now, now))
 
     # -- claiming ------------------------------------------------------ #
     def try_claim(self, index: int, worker_id: str) -> bool:
         lease = lease_path(self.cluster_dir, index)
         lease.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"worker_id": worker_id,
-                              "claimed_at": time.time()})
+                              "claimed_at": self.clock()})
         try:
             descriptor = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
+            if self._is_done(index):
+                return False
             age = self._lease_age(index)
             if age is None:
                 # Lease vanished between the existence check and now —
                 # retry through the normal candidate loop.
                 return False
-            if age < self.plan.lease_timeout or self._is_done(index):
-                return False
+            if age < self._stale_after:
+                # Live lease.  If *we* own it, this is a duplicate delivery
+                # of a claim that was already granted (a retry after a
+                # reset, or a duplicated frame): re-grant idempotently
+                # instead of refusing and sending the owner elsewhere.
+                try:
+                    owner = json.loads(lease.read_text()).get("worker_id")
+                except (OSError, json.JSONDecodeError):
+                    return False
+                return owner == worker_id
             # Stale lease: take it over atomically.  If two workers race
             # here both takeovers "succeed" and the scenario runs twice —
             # deterministic execution makes that merely wasteful, and the
             # merge dedupes the identical records.
             tmp = lease.with_name(f"{lease.name}.{worker_id}.tmp")
             tmp.write_text(payload)
+            self._touch(tmp)
             tmp.replace(lease)
             return not self._is_done(index)
         with os.fdopen(descriptor, "w") as handle:
             handle.write(payload)
+        self._touch(lease)
         return True
 
     def heartbeat(self, index: int, worker_id: str) -> bool:
@@ -321,7 +419,7 @@ class FilesystemTransport(Transport):
         if owner != worker_id:
             return False  # lease was taken over while we were presumed dead
         try:
-            os.utime(lease)
+            self._touch(lease)
         except OSError:
             return False
         return True
@@ -342,13 +440,24 @@ class FilesystemTransport(Transport):
             return sink
 
     def submit_result(self, worker_id: str, index: int,
-                      outcome: ScenarioOutcome) -> None:
+                      outcome: ScenarioOutcome, attempt: int = 0) -> None:
         with self._lock:
-            self._sink_for(worker_id).write(index, outcome)
-            atomic_write_json(done_path(self.cluster_dir, index),
-                              {"index": index, "worker_id": worker_id,
-                               "wall_time": outcome.wall_time,
-                               "finished_at": time.time()})
+            key = (index, worker_id, attempt)
+            # Dedupe duplicate deliveries: a done marker proves *some* sink
+            # record for this index is already durable (markers are written
+            # after the sink write, and fsynced), and a seen (index, worker,
+            # attempt) key means *this very delivery* was applied even if
+            # the crash window between sink write and done marker was hit.
+            if key not in self._applied_submits and not self._is_done(index):
+                self._sink_for(worker_id).write(index, outcome)
+            self._applied_submits.add(key)
+            if not self._is_done(index):
+                atomic_write_json(done_path(self.cluster_dir, index),
+                                  {"index": index, "worker_id": worker_id,
+                                   "attempt": attempt,
+                                   "wall_time": outcome.wall_time,
+                                   "finished_at": self.clock()},
+                                  durable=True)
 
     def close(self) -> None:
         with self._lock:
@@ -387,35 +496,56 @@ class SocketTransport(Transport):
     connect_retry:
         Keep retrying the initial connection for this many seconds (covers
         workers racing a coordinator that is still starting up).
+    max_attempts:
+        Delivery attempts per request for **idempotent** operations (see
+        :data:`IDEMPOTENT_OPS`): a connection error whose outcome is
+        unknown is retried, with exponential backoff, because a duplicate
+        delivery of an idempotent operation is a no-op.  Server-side
+        rejections (the request was delivered and refused) never retry.
+    retry_backoff:
+        Initial sleep between delivery attempts, doubled per retry.
     """
 
     kind = "socket"
 
     def __init__(self, address: "str | tuple[str, int]",
                  timeout: float = 60.0,
-                 connect_retry: float = 10.0) -> None:
+                 connect_retry: float = 10.0,
+                 max_attempts: int = 3,
+                 retry_backoff: float = 0.05) -> None:
         self.address = parse_address(address)
         self.timeout = timeout
+        self.max_attempts = max(1, int(max_attempts))
+        self.retry_backoff = max(0.0, retry_backoff)
         self._lock = threading.Lock()
         self._closed = False
         self._sock: Optional[socket.socket] = self._connect(connect_retry)
         self.plan = ClusterPlan.from_dict(self.request("plan")["plan"])
 
     def _connect(self, connect_retry: float) -> socket.socket:
-        deadline = time.monotonic() + max(0.0, connect_retry)
+        start = time.monotonic()
+        deadline = start + max(0.0, connect_retry)
+        attempts = 0
         while True:
+            attempts += 1
             try:
                 sock = socket.create_connection(self.address,
                                                 timeout=self.timeout)
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 return sock
             except OSError as error:
-                if time.monotonic() >= deadline:
+                now = time.monotonic()
+                if now >= deadline:
                     raise TransportError(
                         f"cannot connect to coordinator at "
-                        f"{self.address[0]}:{self.address[1]}: {error}"
+                        f"{self.address[0]}:{self.address[1]} after "
+                        f"{attempts} attempt(s) over {now - start:.2f}s: "
+                        f"{error}"
                     ) from None
-                time.sleep(0.2)
+                # Clamp the sleep to the deadline: with a 0.1s budget the
+                # old fixed 0.2s sleep overshot it and bought an extra
+                # attempt well past the promised cutoff.
+                time.sleep(min(0.2, deadline - now))
 
     def _drop_sock_locked(self) -> None:
         """Invalidate the connection (caller holds the lock).
@@ -440,27 +570,47 @@ class SocketTransport(Transport):
         connection — server-side state (registration, leases, parts) is
         keyed on worker id, not on the connection, so a fresh socket
         resumes transparently.
+
+        Connection errors leave the outcome of the in-flight request
+        unknown (it may or may not have been applied); for operations in
+        :data:`IDEMPOTENT_OPS` — where a duplicate delivery is harmless by
+        contract — the request is re-sent up to ``max_attempts`` times with
+        exponential backoff before the error surfaces.  A response with
+        ``ok: false`` is a server-side rejection of a *delivered* request
+        and is never retried.
         """
         frame = {"op": op, **payload}
-        with self._lock:
-            if self._closed:
-                raise TransportError("transport is closed")
-            if self._sock is None:
-                self._sock = self._connect(connect_retry=2.0)
-            try:
-                send_frame(self._sock, frame)
-                response = recv_frame(self._sock)
-            except (OSError, TransportError) as error:
-                self._drop_sock_locked()
-                raise TransportError(f"coordinator connection lost "
-                                     f"during {op!r}: {error}") from None
-            if response is None:
-                self._drop_sock_locked()
-                raise TransportError(f"coordinator closed the connection "
-                                     f"during {op!r}")
-        if not response.get("ok"):
-            raise TransportError(response.get("error", f"{op!r} failed"))
-        return response
+        attempts = self.max_attempts if op in IDEMPOTENT_OPS else 1
+        delay = self.retry_backoff
+        last_error: Optional[TransportError] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(delay)
+                delay = min(delay * 2.0, 2.0)
+            with self._lock:
+                if self._closed:
+                    raise TransportError("transport is closed")
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect(connect_retry=2.0)
+                    send_frame(self._sock, frame)
+                    response = recv_frame(self._sock)
+                except (OSError, TransportError) as error:
+                    self._drop_sock_locked()
+                    last_error = TransportError(
+                        f"coordinator connection lost during {op!r} "
+                        f"(attempt {attempt + 1}/{attempts}): {error}")
+                    continue
+                if response is None:
+                    self._drop_sock_locked()
+                    last_error = TransportError(
+                        f"coordinator closed the connection during {op!r} "
+                        f"(attempt {attempt + 1}/{attempts})")
+                    continue
+            if not response.get("ok"):
+                raise TransportError(response.get("error", f"{op!r} failed"))
+            return response
+        raise last_error
 
     # -- protocol operations ------------------------------------------- #
     def register_worker(self, worker_id: str, shard: Optional[int]) -> int:
@@ -488,9 +638,9 @@ class SocketTransport(Transport):
             return True
 
     def submit_result(self, worker_id: str, index: int,
-                      outcome: ScenarioOutcome) -> None:
+                      outcome: ScenarioOutcome, attempt: int = 0) -> None:
         self.request("submit", worker_id=worker_id, index=index,
-                     outcome=outcome.to_dict())
+                     outcome=outcome.to_dict(), attempt=attempt)
 
     def status(self) -> dict:
         """Coordinator-side progress counters (monitoring / autoscaling)."""

@@ -59,7 +59,10 @@ logger = logging.getLogger("repro.cluster.worker")
 class _Heartbeat:
     """Daemon thread refreshing a lease through the transport while a
     scenario runs.  Stops on its own once the transport reports the lease
-    lost (stale takeover by a peer)."""
+    lost (stale takeover by a peer) — and **surfaces** that loss through
+    :attr:`lease_lost`, which the worker must check before submitting: a
+    displaced worker that submits anyway double-counts the scenario (its
+    peer took over and will submit it too)."""
 
     def __init__(self, transport: Transport, index: int, worker_id: str,
                  interval: float) -> None:
@@ -68,6 +71,11 @@ class _Heartbeat:
         self._worker_id = worker_id
         self._interval = max(interval, 0.05)
         self._stop = threading.Event()
+        #: Set once the transport authoritatively reports the lease as no
+        #: longer ours.  The running scenario observes it as its abort
+        #: signal: finish (execution is cheap and deterministic) but do NOT
+        #: submit.
+        self.lease_lost = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
 
     def __enter__(self) -> "_Heartbeat":
@@ -80,7 +88,16 @@ class _Heartbeat:
 
     def _beat(self) -> None:
         while not self._stop.wait(self._interval):
-            if not self._transport.heartbeat(self._index, self._worker_id):
+            try:
+                alive = self._transport.heartbeat(self._index,
+                                                  self._worker_id)
+            except TransportError:
+                # Transient outage — unknown is not "lost".  Keep beating;
+                # the transport reconnects/retries, and a genuine takeover
+                # is reported authoritatively as False.
+                continue
+            if not alive:
+                self.lease_lost.set()
                 return  # lease was taken over or cleaned up: stop beating
 
 
@@ -133,8 +150,16 @@ class ClusterWorker:
         self.on_outcome = on_outcome
         self.crashed = False
         self.executed: list[int] = []
+        #: Indices this worker computed but did **not** submit because its
+        #: lease was taken over mid-run (the peer that took over owns the
+        #: submission; submitting here too would double-count).
+        self.aborted: list[int] = []
         self.cache_report = CacheReport()
         self._claims = 0
+        #: Monotonic per-execution token, sent with every submit so the
+        #: coordinator can dedupe duplicate deliveries of one execution
+        #: (keyed on ``(index, worker_id, attempt)``).
+        self._attempts = 0
         self._last_snapshot: Optional[TaskSnapshot] = None
         if cache_dir is ...:
             cache_dir = self.plan.cache_dir
@@ -176,7 +201,10 @@ class ClusterWorker:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def _execute(self, index: int) -> ScenarioOutcome:
+    def _compute(self, index: int) -> ScenarioOutcome:
+        """Produce the outcome for ``index`` (cache hit or execution) —
+        submission is separate so the lease can be re-checked between the
+        two."""
         spec = self.plan.specs[index]
         seed = self.plan.seeds[index]
         duration = self.plan.duration
@@ -193,11 +221,15 @@ class ClusterWorker:
             outcome = execute_scenario(spec, seed, duration)
             if self._cache is not None:
                 self._cache.store(spec, outcome, duration)
-        self.transport.submit_result(self.worker_id, index, outcome)
+        return outcome
+
+    def _submit(self, index: int, outcome: ScenarioOutcome) -> None:
+        self._attempts += 1
+        self.transport.submit_result(self.worker_id, index, outcome,
+                                     attempt=self._attempts)
         self.executed.append(index)
         if self.on_outcome is not None:
             self.on_outcome(outcome)
-        return outcome
 
     def step(self) -> Optional[int]:
         """Claim and execute one scenario; ``None`` when nothing is left.
@@ -222,8 +254,21 @@ class ClusterWorker:
                 self.crashed = True
                 return None
             with _Heartbeat(self.transport, index, self.worker_id,
-                            self.plan.lease_timeout / 3.0):
-                self._execute(index)
+                            self.plan.lease_timeout / 3.0) as heartbeat:
+                outcome = self._compute(index)
+            # The heartbeat thread is joined here: lease_lost is final for
+            # everything it observed.  A worker that was presumed dead and
+            # displaced must abort instead of submitting — its peer took
+            # the lease over and owns this scenario's submission now;
+            # submitting both would double-count it.
+            if heartbeat.lease_lost.is_set():
+                self.aborted.append(index)
+                logger.warning(
+                    "[%s] lease for scenario %d was taken over while "
+                    "running; discarding the local result", self.worker_id,
+                    index)
+                return index
+            self._submit(index, outcome)
             return index
         return None
 

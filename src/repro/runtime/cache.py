@@ -16,9 +16,11 @@ surfaced via :class:`CacheReport` (see ``SweepRunner.cache_report()``).
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import logging
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
@@ -48,17 +50,37 @@ def cost_model_path(directory: "str | Path") -> Path:
     return Path(directory) / COST_MODEL_NAME
 
 
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` via a per-process tmp file and atomic rename.
+#: Monotonic discriminator for concurrent :func:`atomic_write_text` calls —
+#: ``next()`` on :func:`itertools.count` is atomic under the GIL, so two
+#: threads can never draw the same value.
+_tmp_counter = itertools.count()
+
+
+def atomic_write_text(path: Path, text: str, durable: bool = False) -> None:
+    """Write ``text`` via a private tmp file and atomic rename.
 
     The single atomic-persistence idiom shared by the resume cache, the
     result sinks and the cluster protocol: concurrent writers never
-    interleave (per-pid tmp names), the last rename wins with a complete
-    file, and a killed process never leaves a torn file at ``path``.
+    interleave, the last rename wins with a complete file, and a killed
+    process never leaves a torn file at ``path``.  Tmp names carry the pid,
+    the thread id *and* a per-process counter — pid alone is not enough once
+    one process writes from several threads (the TCP coordinator's handler
+    threads share a pid; two of them sharing one tmp file would interleave
+    text and race the rename).
+
+    With ``durable`` the tmp file is fsynced before the rename, so the
+    rename can never expose a file whose *contents* are still in the page
+    cache — required wherever a reader treats the file's existence as proof
+    of durability (done markers vs. sink records).
     """
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
-    tmp.write_text(text)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}"
+                         f".{threading.get_ident()}.{next(_tmp_counter)}.tmp")
+    with tmp.open("w") as handle:
+        handle.write(text)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
     tmp.replace(path)
 
 

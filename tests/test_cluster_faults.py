@@ -1,0 +1,536 @@
+"""Tests for the protocol-hardening PR: ``repro.cluster.faults``, idempotent
+operations, skew-safe leases, heartbeat-loss abort and torn-write fixes.
+
+The regression tests here are written to fail on the pre-PR code:
+
+* ``test_concurrent_threads_never_tear_atomic_writes`` — per-pid tmp names
+  collide across threads of one process (the TCP coordinator's handler
+  threads), so one thread's rename deletes the other's tmp file mid-write.
+* ``test_duplicate_submit_writes_one_sink_record`` — re-delivered submits
+  used to append a second sink record.
+* ``test_reclaim_by_owner_is_idempotent`` — a retried claim whose first
+  delivery was applied used to be refused, stranding the owner.
+* ``test_clock_skew_does_not_fake_a_stale_lease`` — a reader clock running
+  2s ahead of the lease writer used to inflate lease ages and falsely take
+  over a *healthy* worker's lease.
+* ``test_displaced_worker_aborts_instead_of_double_submitting`` — a worker
+  whose heartbeat reported the lease lost used to submit its result anyway.
+* ``test_connect_deadline_is_clamped`` — the connect retry loop used to
+  sleep a fixed 0.2s past the deadline and buy an extra attempt.
+
+The acceptance test runs a seeded fault-injection sweep — drops, resets,
+duplicates, stale replays, delays, one mid-scenario worker crash and 2s of
+simulated clock skew — over **both** transports and requires the merged
+result to be field-for-field identical to a serial ``SweepRunner`` run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterWorker,
+    FaultSchedule,
+    FaultyTransport,
+    FilesystemTransport,
+    InjectedFault,
+    InjectedWorkerCrash,
+    SocketTransport,
+    TransportError,
+)
+from repro.cluster.coordinator import ClusterPlan, done_path, lease_path
+from repro.cluster.serve import ClusterCoordinatorServer
+from repro.runtime import ScenarioSpec, SweepRunner, single_kind_scenarios
+from repro.runtime.cache import atomic_write_text
+from repro.runtime.sweep import execute_scenario
+
+DURATION = 0.05
+
+
+def grid(count=None, backend="analytic") -> list[ScenarioSpec]:
+    specs = single_kind_scenarios(
+        "Lab", kinds=("NL", "CK", "MD"), loads=("Low", "High"),
+        max_pairs_options=(1, 3), origins=("A", "B"),
+        include_md_k255=False, attempt_batch_size=40, backend=backend)
+    return specs if count is None else specs[:count]
+
+
+def plan_cluster(tmp_path, specs, **kwargs) -> ClusterCoordinator:
+    kwargs.setdefault("master_seed", 77)
+    kwargs.setdefault("num_shards", 3)
+    coordinator = ClusterCoordinator(specs, DURATION, tmp_path / "cluster",
+                                     **kwargs)
+    coordinator.write_plan()
+    return coordinator
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: atomic_write_text is thread-safe (pid alone is not a discriminator)
+# --------------------------------------------------------------------------- #
+class TestAtomicWriteText:
+    def test_concurrent_threads_never_tear_atomic_writes(self, tmp_path):
+        """Two coordinator handler threads share a pid; their tmp files must
+        not collide.  Pre-PR both threads used ``<name>.<pid>.tmp``: one
+        thread's rename deletes the tmp the other is about to rename
+        (FileNotFoundError) or renames the other's half-written text."""
+        target = tmp_path / "state.json"
+        rounds = 200
+        barrier = threading.Barrier(2)
+        errors: list[BaseException] = []
+
+        def writer(worker: int) -> None:
+            try:
+                for round_number in range(rounds):
+                    barrier.wait()
+                    atomic_write_text(target, json.dumps(
+                        {"worker": worker, "round": round_number}))
+            except BaseException as error:  # noqa: BLE001 - recorded for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(n,))
+                   for n in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, f"atomic_write_text tore under threads: {errors!r}"
+        final = json.loads(target.read_text())  # never torn, always parses
+        assert final["round"] == rounds - 1
+        assert not list(tmp_path.glob("*.tmp"))  # no leaked tmp files
+
+    def test_durable_write_fsyncs_and_replaces(self, tmp_path):
+        target = tmp_path / "done.json"
+        atomic_write_text(target, '{"ok": true}', durable=True)
+        atomic_write_text(target, '{"ok": false}', durable=True)
+        assert json.loads(target.read_text()) == {"ok": False}
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+# --------------------------------------------------------------------------- #
+# Fault schedule determinism
+# --------------------------------------------------------------------------- #
+class TestFaultSchedule:
+    def rates(self):
+        return dict(drop=0.3, reset=0.3, duplicate=0.3, replay=0.2,
+                    delay=0.2, delay_seconds=0.0)
+
+    def test_same_seed_same_decisions_regardless_of_interleaving(self):
+        first = FaultSchedule(seed=42, **self.rates())
+        second = FaultSchedule(seed=42, **self.rates())
+        # Consume the two schedules in different op interleavings: each
+        # decision depends only on (seed, op, per-op call number).
+        a = [first.decide("claim") for _ in range(20)]
+        a += [first.decide("submit") for _ in range(20)]
+        b = []
+        for _ in range(20):
+            b.append(second.decide("claim"))
+            second.decide("submit")
+        assert a[:20] == b
+        third = FaultSchedule(seed=43, **self.rates())
+        assert [third.decide("claim") for _ in range(20)] != a[:20]
+
+    def test_injected_log_and_replayable_description(self):
+        schedule = FaultSchedule(seed=7, drop=1.0)
+        with pytest.raises(InjectedFault):
+            FaultyTransport(_ScriptedTransport(), schedule,
+                            max_retries=2).snapshot()
+        description = schedule.to_dict()
+        assert description["seed"] == 7
+        assert description["rates"]["drop"] == 1.0
+        assert len(description["injected"]) == 3  # initial try + 2 retries
+        assert all(entry["op"] == "snapshot" and "drop" in entry["faults"]
+                   for entry in description["injected"])
+
+    def test_crash_point_and_mode_validation(self):
+        schedule = FaultSchedule(seed=1, crash_op="claim", crash_call=2,
+                                 crash_mode="before")
+        inner = _ScriptedTransport()
+        faulty = FaultyTransport(inner, schedule)
+        assert faulty.try_claim(0, "w") is True
+        with pytest.raises(InjectedWorkerCrash):
+            faulty.try_claim(1, "w")
+        assert inner.calls.count("claim") == 1  # crash *before* delivery
+        with pytest.raises(ValueError, match="crash_mode"):
+            FaultSchedule(seed=1, crash_mode="sideways")
+
+
+class _ScriptedTransport:
+    """Minimal transport double recording deliveries."""
+
+    kind = "scripted"
+    plan = None
+
+    def __init__(self):
+        self.calls: list[str] = []
+
+    def register_worker(self, worker_id, shard):
+        self.calls.append("register")
+        return 0
+
+    def snapshot(self):
+        self.calls.append("snapshot")
+        return "snapshot"
+
+    def try_claim(self, index, worker_id):
+        self.calls.append("claim")
+        return True
+
+    def heartbeat(self, index, worker_id):
+        self.calls.append("heartbeat")
+        return True
+
+    def submit_result(self, worker_id, index, outcome, attempt=0):
+        self.calls.append("submit")
+
+    def close(self):
+        self.calls.append("close")
+
+
+class TestFaultyTransportUnit:
+    def test_drop_is_retried_until_delivered(self):
+        inner = _ScriptedTransport()
+        # drop=1.0 on every delivery except: make only the first two drop by
+        # checking the retry budget instead — with drop=1.0 and 3 retries the
+        # op never lands and the fault surfaces as a TransportError subclass.
+        schedule = FaultSchedule(seed=5, drop=1.0)
+        faulty = FaultyTransport(inner, schedule, max_retries=3,
+                                 retry_delay=0.0)
+        with pytest.raises(TransportError):
+            faulty.snapshot()
+        assert inner.calls == []  # dropped requests were never delivered
+
+    def test_reset_applies_then_retries(self):
+        inner = _ScriptedTransport()
+        schedule = FaultSchedule(seed=5, reset=1.0)
+        faulty = FaultyTransport(inner, schedule, max_retries=3,
+                                 retry_delay=0.0)
+        with pytest.raises(TransportError):
+            faulty.try_claim(0, "w")
+        # Every attempt was *applied* (reset loses only the response) —
+        # exactly the ambiguity idempotent claims absorb.
+        assert inner.calls == ["claim"] * 4
+
+    def test_duplicate_and_stale_replay_redeliver(self):
+        inner = _ScriptedTransport()
+        schedule = FaultSchedule(seed=5, duplicate=1.0)
+        FaultyTransport(inner, schedule).try_claim(0, "w")
+        assert inner.calls == ["claim", "claim"]
+
+        inner = _ScriptedTransport()
+        schedule = FaultSchedule(seed=5, replay=1.0)
+        faulty = FaultyTransport(inner, schedule)
+        faulty.try_claim(0, "w")
+        faulty.snapshot()  # replays the stale claim after delivering
+        assert inner.calls == ["claim", "snapshot", "claim"]
+
+
+# --------------------------------------------------------------------------- #
+# Idempotent operations
+# --------------------------------------------------------------------------- #
+class TestIdempotentOps:
+    def test_duplicate_submit_writes_one_sink_record(self, tmp_path):
+        specs = grid(count=4)
+        coordinator = plan_cluster(tmp_path, specs)
+        transport = FilesystemTransport(coordinator.cluster_dir)
+        assert transport.try_claim(0, "w")
+        outcome = execute_scenario(specs[0], transport.plan.seeds[0],
+                                   DURATION)
+        # The same delivery lands three times (a duplicated frame plus a
+        # retry after a reset): one sink record, one done marker.
+        for _ in range(3):
+            transport.submit_result("w", 0, outcome, attempt=1)
+        transport.close()
+        part = coordinator.cluster_dir / "results" / "part-w.jsonl"
+        records = [json.loads(line) for line in
+                   part.read_text().splitlines()[1:] if line.strip()]
+        assert len(records) == 1
+        assert records[0]["index"] == 0
+
+    def test_submit_after_done_is_a_noop(self, tmp_path):
+        specs = grid(count=4)
+        coordinator = plan_cluster(tmp_path, specs)
+        first = FilesystemTransport(coordinator.cluster_dir)
+        second = FilesystemTransport(coordinator.cluster_dir)
+        outcome = execute_scenario(specs[0], first.plan.seeds[0], DURATION)
+        first.submit_result("a", 0, outcome, attempt=1)
+        # A displaced peer submitting late (done marker already durable)
+        # must not open a second part for the same scenario.
+        second.submit_result("b", 0, outcome, attempt=1)
+        first.close()
+        second.close()
+        results = coordinator.cluster_dir / "results"
+        assert not (results / "part-b.jsonl").exists()
+        merged = coordinator.merge(require_complete=False)
+        assert merged.outcomes == [outcome]
+
+    def test_reclaim_by_owner_is_idempotent(self, tmp_path):
+        """A retried claim whose first delivery was applied re-grants to the
+        owner — pre-PR it was refused as 'someone holds the lease'."""
+        specs = grid(count=4)
+        coordinator = plan_cluster(tmp_path, specs)
+        transport = FilesystemTransport(coordinator.cluster_dir)
+        assert transport.try_claim(0, "w")
+        assert transport.try_claim(0, "w")  # duplicate delivery: re-granted
+        assert not transport.try_claim(0, "other")  # non-owners still lose
+
+    def test_register_is_idempotent(self, tmp_path):
+        specs = grid(count=4)
+        coordinator = plan_cluster(tmp_path, specs)
+        transport = FilesystemTransport(coordinator.cluster_dir)
+        shard = transport.register_worker("w", None)
+        # A retried register must return the recorded shard, not round-robin
+        # the duplicate onto the next one.
+        assert transport.register_worker("w", None) == shard
+        assert transport.register_worker("w", shard) == shard
+        assert transport.registered_workers() == 1
+
+
+# --------------------------------------------------------------------------- #
+# Skew-safe leases
+# --------------------------------------------------------------------------- #
+class TestClockSkew:
+    def test_clock_skew_does_not_fake_a_stale_lease(self, tmp_path):
+        """A reader 2s ahead of the lease writer must not observe a healthy
+        lease as stale.  Pre-PR there was no tolerance: with a 1s lease
+        timeout the skew alone aged the lease past staleness and the rescuer
+        'took over' a live worker's scenario."""
+        specs = grid(count=4)
+        coordinator = plan_cluster(tmp_path, specs, lease_timeout=1.0,
+                                   clock_skew_tolerance=5.0)
+        writer = FilesystemTransport(coordinator.cluster_dir)
+        reader = FilesystemTransport(coordinator.cluster_dir,
+                                     clock=lambda: time.time() + 2.0)
+        assert writer.try_claim(0, "healthy")
+        assert writer.heartbeat(0, "healthy")
+        snapshot = reader.snapshot()
+        assert not snapshot.is_available(0, reader.plan.lease_timeout), \
+            "2s of clock skew faked a stale lease"
+        assert not reader.try_claim(0, "usurper")
+        assert writer.heartbeat(0, "healthy")  # the owner was never displaced
+
+    def test_genuinely_stale_lease_is_still_reclaimed_under_skew(
+            self, tmp_path):
+        specs = grid(count=4)
+        coordinator = plan_cluster(tmp_path, specs, lease_timeout=1.0,
+                                   clock_skew_tolerance=5.0)
+        writer = FilesystemTransport(coordinator.cluster_dir)
+        reader = FilesystemTransport(coordinator.cluster_dir,
+                                     clock=lambda: time.time() + 2.0)
+        assert writer.try_claim(0, "doomed")
+        lease = lease_path(coordinator.cluster_dir, 0)
+        past = time.time() - 3600.0
+        os.utime(lease, (past, past))
+        assert reader.snapshot().is_available(0, reader.plan.lease_timeout)
+        assert reader.try_claim(0, "rescuer")
+        assert not writer.heartbeat(0, "doomed")
+
+    def test_plan_round_trips_the_skew_tolerance(self, tmp_path):
+        specs = grid(count=4)
+        coordinator = plan_cluster(tmp_path, specs,
+                                   clock_skew_tolerance=7.5)
+        plan = ClusterPlan.load(coordinator.cluster_dir)
+        assert plan.clock_skew_tolerance == 7.5
+        # Pre-PR plan documents (no tolerance field) load with the default.
+        document = plan.to_dict()
+        del document["clock_skew_tolerance"]
+        assert ClusterPlan.from_dict(document).clock_skew_tolerance == 5.0
+
+
+# --------------------------------------------------------------------------- #
+# Heartbeat loss aborts the displaced worker
+# --------------------------------------------------------------------------- #
+class TestHeartbeatLoss:
+    def test_displaced_worker_aborts_instead_of_double_submitting(
+            self, tmp_path, monkeypatch):
+        """The stale-takeover peer and the resurrecting original both finish
+        the same scenario; only the peer may submit.  Pre-PR the original's
+        heartbeat thread noticed the takeover and silently stopped, and the
+        original submitted anyway — double-counting the scenario."""
+        specs = grid(count=4)
+        # Tiny lease timeout: the heartbeat interval (timeout / 3, floored
+        # at 50ms) fires several times during the slowed execution below.
+        coordinator = plan_cluster(tmp_path, specs, lease_timeout=0.15,
+                                   clock_skew_tolerance=0.0)
+        rescuer = FilesystemTransport(coordinator.cluster_dir)
+        takeover_done = threading.Event()
+
+        import repro.cluster.worker as worker_module
+        real_execute = worker_module.execute_scenario
+
+        def execute_and_get_displaced(spec, seed, duration):
+            outcome = real_execute(spec, seed, duration)
+            if not takeover_done.is_set():
+                # While the original is "still computing": its lease goes
+                # stale and the rescuer takes it over and submits.  The
+                # original's heartbeat thread may refresh the lease between
+                # the backdate and the claim, so retry the pair.
+                index = rescuer.plan.specs.index(spec)
+                lease = lease_path(coordinator.cluster_dir, index)
+                past = time.time() - 3600.0
+                for _ in range(50):
+                    os.utime(lease, (past, past))
+                    if rescuer.try_claim(index, "rescuer"):
+                        break
+                else:
+                    raise AssertionError("rescuer could not take the lease")
+                rescuer.submit_result("rescuer", index, outcome, attempt=1)
+                takeover_done.set()
+                time.sleep(0.4)  # several heartbeat intervals
+            return outcome
+
+        monkeypatch.setattr(worker_module, "execute_scenario",
+                            execute_and_get_displaced)
+        original = ClusterWorker(FilesystemTransport(coordinator.cluster_dir),
+                                 "original", shard=0, steal=False,
+                                 cache_dir=None)
+        index = original.step()
+        assert index is not None
+        assert original.aborted == [index]
+        assert original.executed == []  # the displaced result was discarded
+        original.close()
+        rescuer.close()
+        results = coordinator.cluster_dir / "results"
+        assert (results / "part-rescuer.jsonl").exists()
+        assert not (results / "part-original.jsonl").exists(), \
+            "displaced worker double-submitted"
+        merged = coordinator.merge(require_complete=False)
+        assert len(merged.outcomes) == 1
+
+    def test_transient_heartbeat_outage_does_not_abort(self, tmp_path):
+        from repro.cluster.worker import _Heartbeat
+
+        class FlakyTransport:
+            def __init__(self):
+                self.beats = 0
+
+            def heartbeat(self, index, worker_id):
+                self.beats += 1
+                if self.beats == 1:
+                    raise TransportError("blip")
+                return True
+
+        transport = FlakyTransport()
+        with _Heartbeat(transport, 0, "w", interval=0.05) as heartbeat:
+            deadline = time.monotonic() + 2.0
+            while transport.beats < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert transport.beats >= 3  # kept beating through the outage
+        assert not heartbeat.lease_lost.is_set()
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: connect deadline clamping
+# --------------------------------------------------------------------------- #
+class TestConnectDeadline:
+    def test_connect_deadline_is_clamped(self):
+        started = time.monotonic()
+        with pytest.raises(TransportError,
+                           match=r"after \d+ attempt\(s\) over \d+\.\d+s"):
+            SocketTransport("127.0.0.1:1", connect_retry=0.25)
+        elapsed = time.monotonic() - started
+        # Pre-PR the loop slept a fixed 0.2s past the deadline and made an
+        # extra attempt; the clamped loop stops at the budget (plus one
+        # attempt's latency against a closed port, which is microseconds).
+        assert elapsed < 0.6, f"connect retry overshot its budget: {elapsed}"
+
+    def test_zero_budget_fails_after_exactly_one_attempt(self):
+        with pytest.raises(TransportError, match=r"after 1 attempt"):
+            SocketTransport("127.0.0.1:1", connect_retry=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance: seeded faulted sweep == serial, both transports
+# --------------------------------------------------------------------------- #
+class TestFaultedSweepAcceptance:
+    """Drops + resets + duplicates + stale replays + delays + one
+    mid-scenario worker crash + 2s simulated clock skew, over both
+    transports — the merged result must be field-for-field identical to a
+    serial ``SweepRunner`` run."""
+
+    def worker_schedules(self, seed):
+        crashy = FaultSchedule(seed=seed, drop=0.1, duplicate=0.1,
+                               delay=0.2, delay_seconds=0.001,
+                               crash_op="claim", crash_call=2,
+                               crash_mode="after", clock_skew=2.0)
+        chaotic = FaultSchedule(seed=seed + 1, drop=0.15, reset=0.15,
+                                duplicate=0.15, replay=0.1, delay=0.2,
+                                delay_seconds=0.001, clock_skew=2.0)
+        skewed = FaultSchedule(seed=seed + 2, drop=0.1, reset=0.1,
+                               duplicate=0.1, replay=0.1, clock_skew=-2.0)
+        return [crashy, chaotic, skewed]
+
+    @pytest.mark.parametrize("transport_kind", ["filesystem", "socket"])
+    def test_faulted_sweep_equals_serial(self, tmp_path, transport_kind):
+        specs = grid()
+        assert len(specs) >= 24
+        serial = SweepRunner(specs, DURATION, master_seed=77).run()
+        coordinator = plan_cluster(tmp_path, specs, lease_timeout=120.0,
+                                   clock_skew_tolerance=5.0)
+        server = None
+        if transport_kind == "socket":
+            server = ClusterCoordinatorServer(coordinator)
+            server.start_background()
+
+        def make_transport(schedule):
+            if transport_kind == "socket":
+                return FaultyTransport.over_socket(server.address, schedule,
+                                                   retry_delay=0.0)
+            return FaultyTransport.over_filesystem(coordinator.cluster_dir,
+                                                   schedule, retry_delay=0.0)
+
+        schedules = self.worker_schedules(seed=20260808)
+        workers = [ClusterWorker(make_transport(schedule), f"w{i}", shard=i,
+                                 cache_dir=None)
+                   for i, schedule in enumerate(schedules)]
+        crashed: set[int] = set()
+        try:
+            for _ in range(800):
+                progressed = False
+                for position, worker in enumerate(workers):
+                    if position in crashed:
+                        continue
+                    try:
+                        if worker.step() is not None:
+                            progressed = True
+                    except InjectedWorkerCrash:
+                        crashed.add(position)  # died holding its lease
+                        progressed = True
+                    except TransportError:
+                        progressed = True  # injected outage burst; retry
+                if coordinator.is_complete():
+                    break
+                if not progressed:
+                    aged = self.backdate_stale_leases(coordinator)
+                    assert aged > 0, "deadlock: no progress, no stale lease"
+            else:
+                raise AssertionError("faulted grid did not complete")
+        finally:
+            for worker in workers:
+                worker.close()
+            if server is not None:
+                server.stop()
+
+        assert crashed == {0}, "the scheduled crash did not fire"
+        assert any(schedule.injected for schedule in schedules)
+        merged = coordinator.merge()
+        assert merged.master_seed == serial.master_seed
+        assert merged.duration == serial.duration
+        assert merged.outcomes == serial.outcomes
+        assert merged == serial
+
+    @staticmethod
+    def backdate_stale_leases(coordinator, seconds=3600.0) -> int:
+        past = time.time() - seconds
+        aged = 0
+        for lease in (coordinator.cluster_dir / "tasks").glob("*.lease"):
+            if not done_path(coordinator.cluster_dir,
+                             int(lease.stem)).exists():
+                os.utime(lease, (past, past))
+                aged += 1
+        return aged

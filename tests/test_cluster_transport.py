@@ -24,6 +24,8 @@ from repro.cluster import (
     ClusterCoordinator,
     ClusterStats,
     ClusterWorker,
+    FaultSchedule,
+    FaultyTransport,
     FilesystemTransport,
     ProcessPoolScaler,
     QueueDepthPolicy,
@@ -51,6 +53,11 @@ def grid(count=None, backend=None, loads=("Low", "High"),
     return specs if count is None else specs[:count]
 
 
+def fault_schedule(seed: int) -> FaultSchedule:
+    """The drop/duplicate/reset mix the hardening tests re-run under."""
+    return FaultSchedule(seed=seed, drop=0.15, duplicate=0.15, reset=0.15)
+
+
 class TransportCluster:
     """One planned cluster reachable over a configurable transport kind.
 
@@ -75,11 +82,16 @@ class TransportCluster:
             self.server = ClusterCoordinatorServer(self.coordinator)
             self.server.start_background()
 
-    def transport(self):
+    def transport(self, schedule=None):
+        """A transport onto the cluster; pass a :class:`FaultSchedule` to
+        wrap it in a :class:`FaultyTransport` (seeded drops, duplicates,
+        resets, ... injected around every operation)."""
         if self.kind == "socket":
             transport = SocketTransport(self.server.address)
         else:
             transport = FilesystemTransport(self.coordinator.cluster_dir)
+        if schedule is not None:
+            transport = FaultyTransport(transport, schedule, retry_delay=0.0)
         self._transports.append(transport)
         return transport
 
@@ -188,10 +200,19 @@ class TestTransportContract:
         with pytest.raises(TransportError):
             transport.register_worker("d", 99)
 
-    def test_double_claim_race_grants_exactly_one(self, make_cluster):
+    @pytest.mark.parametrize("faulted", [False, True],
+                             ids=["clean", "faulty"])
+    def test_double_claim_race_grants_exactly_one(self, make_cluster,
+                                                  faulted):
         specs = grid(count=4, backend="analytic")
         cluster = make_cluster(specs)
-        contenders = [cluster.transport() for _ in range(6)]
+        # Under faults, contenders' claims are additionally dropped,
+        # duplicated and reset mid-race — the injected retries re-deliver
+        # claims whose first delivery may have been applied, and exactly-one
+        # must still hold because claims idempotently re-grant to the owner.
+        contenders = [
+            cluster.transport(fault_schedule(300 + i) if faulted else None)
+            for i in range(6)]
         grants = []
         barrier = threading.Barrier(len(contenders))
 
@@ -381,23 +402,31 @@ class TestSocketTransport:
         serial = SweepRunner(specs, DURATION, master_seed=77).run()
         assert merged.outcomes == serial.outcomes
 
-    def test_server_restart_resumes_durable_state(self, tmp_path):
+    @pytest.mark.parametrize("faulted", [False, True],
+                             ids=["clean", "faulty"])
+    def test_server_restart_resumes_durable_state(self, tmp_path, faulted):
         specs = grid(count=6, backend="analytic")
         cluster = TransportCluster(tmp_path, "socket", specs)
-        worker = ClusterWorker(cluster.transport(), "w0", shard=0,
-                               steal=False)
+        worker = ClusterWorker(
+            cluster.transport(fault_schedule(400) if faulted else None),
+            "w0", shard=0, steal=False)
         worker.run(wait_for_stragglers=False)
         done_before = len(worker.executed)
         assert 0 < done_before < len(specs)
         cluster.close()
 
         # A fresh server over the same directory picks up the done markers
-        # and result parts; a new worker finishes only the remainder.
+        # and result parts; a new worker finishes only the remainder — under
+        # faults, its duplicated/reset submits must not double-count any
+        # scenario across the restart boundary.
         server = ClusterCoordinatorServer(cluster.coordinator)
         server.start_background()
         try:
-            finisher = ClusterWorker(SocketTransport(server.address), "w1",
-                                     shard=1)
+            transport = SocketTransport(server.address)
+            if faulted:
+                transport = FaultyTransport(transport, fault_schedule(401),
+                                            retry_delay=0.0)
+            finisher = ClusterWorker(transport, "w1", shard=1)
             finisher.run(wait_for_stragglers=False)
             assert len(finisher.executed) == len(specs) - done_before
             merged = cluster.coordinator.merge()
@@ -540,10 +569,15 @@ class TestSocketShardedEquivalence:
     with no shared filesystem — merged result field-for-field identical to
     the serial ``SweepRunner``, under both backends."""
 
-    @pytest.mark.parametrize("backend,sink", [("density", "jsonl"),
-                                              ("analytic", "columnar")])
+    @pytest.mark.parametrize(
+        "backend,sink,faulted",
+        [("density", "jsonl", False), ("analytic", "columnar", False),
+         ("density", "jsonl", True), ("analytic", "columnar", True)],
+        ids=["density-clean", "analytic-clean",
+             "density-faulty", "analytic-faulty"])
     def test_socket_sharded_crashy_sweep_equals_serial(self, tmp_path,
-                                                       backend, sink):
+                                                       backend, sink,
+                                                       faulted):
         specs = grid(backend=backend)
         assert len(specs) >= 24
         serial = SweepRunner(specs, DURATION, master_seed=77).run()
@@ -554,19 +588,29 @@ class TestSocketShardedEquivalence:
         worker_dirs = [tmp_path / f"machine-{i}" for i in range(3)]
         for worker_dir in worker_dirs:
             worker_dir.mkdir()
+
+        def faults(seed):
+            return fault_schedule(seed) if faulted else None
+
         workers = [
-            ClusterWorker(cluster.transport(), "w0", shard=0,
+            ClusterWorker(cluster.transport(faults(500)), "w0", shard=0,
                           cache_dir=worker_dirs[0] / "cache",
                           crash_after_claims=3),
-            ClusterWorker(cluster.transport(), "w1", shard=1,
+            ClusterWorker(cluster.transport(faults(501)), "w1", shard=1,
                           cache_dir=worker_dirs[1] / "cache"),
-            ClusterWorker(cluster.transport(), "w2", shard=2,
+            ClusterWorker(cluster.transport(faults(502)), "w2", shard=2,
                           cache_dir=worker_dirs[2] / "cache"),
         ]
         for _ in range(500):
             progressed = False
             for worker in workers:
-                if worker.step() is not None:
+                try:
+                    if worker.step() is not None:
+                        progressed = True
+                except TransportError:
+                    # An injected fault burst outlasting the wrapper's retry
+                    # budget — a coordinator outage, as far as the worker is
+                    # concerned.  Step again next round.
                     progressed = True
             if cluster.coordinator.is_complete():
                 break
