@@ -1,0 +1,82 @@
+"""Vectorized cohort throughput: a 64-scenario analytic grid in one process.
+
+The cohort executor (``repro.runtime.batch`` over
+``repro.backends.vectorized``) advances many analytic scenarios through one
+shared backend: FEU fidelity tables are built once per distinct hardware
+config instead of twice per run, and the per-delivery pair physics
+(decay / dephasing / correction / measurement collapse) is served from
+key-chained memoization instead of being recomputed per member.  Per-member
+results stay bit-identical to solo runs (pinned in
+``tests/test_vectorized.py`` and re-asserted here), so the speedup is pure
+throughput.
+
+This benchmark runs the same ≥64-scenario analytic grid twice in one
+process — once per-scenario, once as a single cohort — and records both
+scenarios/sec figures and their ratio in ``BENCH_bench_vectorized_grid
+.json``.  CI's perf guard fails when a fresh run's ratio drops below half
+of the committed baseline's (same-machine ratio comparison, so absolute
+host speed does not matter).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import print_table, record_perf, scaled
+
+#: Grid width — the acceptance floor is 64 scenarios in one process.
+GRID = 64
+
+
+def _grid():
+    from repro.runtime.scenarios import single_kind_scenarios
+
+    specs = (single_kind_scenarios("Lab", backend="analytic")
+             + single_kind_scenarios("QL2020", backend="analytic"))
+    assert len(specs) >= GRID
+    return specs[:GRID]
+
+
+def test_vectorized_grid_speedup():
+    from repro.runtime.batch import CohortRunner
+
+    specs = _grid()
+    duration = scaled(0.5)
+    seeds = [31_000 + index for index in range(len(specs))]
+
+    started = time.perf_counter()
+    solo = [spec.run(duration, seed=seed)
+            for spec, seed in zip(specs, seeds)]
+    solo_wall = time.perf_counter() - started
+
+    runner = CohortRunner(specs, duration, seeds=seeds)
+    results = runner.run()
+    cohort_wall = runner.wall_time
+
+    assert runner.errors == [None] * len(specs)
+    for reference, result in zip(solo, results):
+        assert result.summary == reference.summary
+        assert result.events_processed == reference.events_processed
+
+    solo_rate = len(specs) / solo_wall
+    cohort_rate = len(specs) / cohort_wall
+    speedup = solo_wall / cohort_wall
+
+    print_table(
+        f"Vectorized cohort throughput ({len(specs)} analytic scenarios, "
+        f"{duration:.2f}s simulated each)",
+        ["path", "wall (s)", "scenarios/sec"],
+        [["per-scenario", f"{solo_wall:.2f}", f"{solo_rate:.1f}"],
+         ["cohort", f"{cohort_wall:.2f}", f"{cohort_rate:.1f}"],
+         ["speedup", "", f"{speedup:.2f}x"]])
+
+    record_perf("bench_vectorized_grid", "test_vectorized_grid_speedup",
+                grid_scenarios=len(specs),
+                simulated_seconds=duration,
+                solo_scenarios_per_second=round(solo_rate, 1),
+                cohort_scenarios_per_second=round(cohort_rate, 1),
+                speedup=round(speedup, 2))
+
+    # Sanity floor only — the real regression guard is CI's ratio check
+    # against the committed baseline.
+    assert speedup > 1.5

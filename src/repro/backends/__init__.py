@@ -38,6 +38,7 @@ from repro.backends.base import (
     PhysicsBackend,
 )
 from repro.backends.density import DensityAttemptModel, DensityMatrixBackend
+from repro.backends.vectorized import VectorizedAnalyticBackend
 
 #: Environment variable consulted when no backend is passed explicitly.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -111,6 +112,7 @@ __all__ = [
     "DensityMatrixBackend",
     "HeraldSample",
     "PhysicsBackend",
+    "VectorizedAnalyticBackend",
     "available_backends",
     "default_backend_name",
     "get_backend",

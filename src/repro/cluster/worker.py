@@ -27,6 +27,12 @@ through :meth:`~repro.cluster.transport.Transport.submit_result`, which is
 durable before the done marker exists — crash-and-resume is safe at every
 point.
 
+With ``batch_size > 1`` a worker claims up to that many *analytic* scenarios
+per step and advances them as one vectorized cohort
+(:mod:`repro.runtime.batch`): one lease and one heartbeat per member, so the
+failure story is unchanged — a member whose lease was taken over mid-cohort
+is aborted individually while the others still submit.
+
 CLI — the whole multi-machine deployment story::
 
     python -m repro.cluster.worker --cluster-dir DIR          # shared filesystem
@@ -36,6 +42,7 @@ CLI — the whole multi-machine deployment story::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import logging
 import os
 import threading
@@ -127,6 +134,10 @@ class ClusterWorker:
         Resume-cache directory override.  Defaults to the plan's
         ``cache_dir`` (shared-filesystem deployments); socket workers
         typically pass a machine-local directory or ``None``.
+    batch_size:
+        Cohort size for vectorized execution.  With ``batch_size > 1`` each
+        step claims up to this many analytic scenarios and runs them as one
+        cohort; non-analytic scenarios keep the solo path.
     """
 
     def __init__(self, cluster: "Transport | str | Path",
@@ -136,6 +147,7 @@ class ClusterWorker:
                  crash_after_claims: Optional[int] = None,
                  on_outcome: Optional[Callable[[ScenarioOutcome], None]] = None,
                  cache_dir: "Optional[str | Path]" = ...,
+                 batch_size: int = 1,
                  ) -> None:
         if isinstance(cluster, Transport):
             self.transport = cluster
@@ -146,6 +158,7 @@ class ClusterWorker:
             worker_id = f"{os.uname().nodename}-{os.getpid()}"
         self.worker_id = worker_id
         self.steal = steal
+        self.batch_size = max(1, int(batch_size))
         self.crash_after_claims = crash_after_claims
         self.on_outcome = on_outcome
         self.crashed = False
@@ -161,6 +174,10 @@ class ClusterWorker:
         #: (keyed on ``(index, worker_id, attempt)``).
         self._attempts = 0
         self._last_snapshot: Optional[TaskSnapshot] = None
+        #: Shared vectorized backend reused across this worker's cohorts so
+        #: FEU tables and physics chains stay warm between steps (results
+        #: are bit-identical with or without the reuse).
+        self._cohort_backend = None
         if cache_dir is ...:
             cache_dir = self.plan.cache_dir
         self._cache = None if cache_dir is None else ResumeCache(cache_dir)
@@ -201,26 +218,32 @@ class ClusterWorker:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def _load_cached(self, index: int) -> Optional[ScenarioOutcome]:
+        """Resume-cache lookup for ``index`` (updates the cache report)."""
+        if self._cache is None:
+            return None
+        spec = self.plan.specs[index]
+        outcome, reason = self._cache.load(spec, self.plan.seeds[index],
+                                           self.plan.duration)
+        if outcome is not None:
+            self.cache_report.hits.append(spec.name)
+        elif reason is not None:
+            self.cache_report.skips.append(CacheSkip(spec.name, reason))
+        else:
+            self.cache_report.misses.append(spec.name)
+        return outcome
+
     def _compute(self, index: int) -> ScenarioOutcome:
         """Produce the outcome for ``index`` (cache hit or execution) —
         submission is separate so the lease can be re-checked between the
         two."""
-        spec = self.plan.specs[index]
-        seed = self.plan.seeds[index]
-        duration = self.plan.duration
-        outcome = None
-        if self._cache is not None:
-            outcome, reason = self._cache.load(spec, seed, duration)
-            if outcome is not None:
-                self.cache_report.hits.append(spec.name)
-            elif reason is not None:
-                self.cache_report.skips.append(CacheSkip(spec.name, reason))
-            else:
-                self.cache_report.misses.append(spec.name)
+        outcome = self._load_cached(index)
         if outcome is None:
-            outcome = execute_scenario(spec, seed, duration)
+            spec = self.plan.specs[index]
+            outcome = execute_scenario(spec, self.plan.seeds[index],
+                                       self.plan.duration)
             if self._cache is not None:
-                self._cache.store(spec, outcome, duration)
+                self._cache.store(spec, outcome, self.plan.duration)
         return outcome
 
     def _submit(self, index: int, outcome: ScenarioOutcome) -> None:
@@ -231,8 +254,42 @@ class ClusterWorker:
         if self.on_outcome is not None:
             self.on_outcome(outcome)
 
+    def _execute_claimed(self, index: int) -> int:
+        """Run one freshly claimed scenario under its heartbeat and submit
+        (or abort) it."""
+        with _Heartbeat(self.transport, index, self.worker_id,
+                        self.plan.lease_timeout / 3.0) as heartbeat:
+            outcome = self._compute(index)
+        # The heartbeat thread is joined here: lease_lost is final for
+        # everything it observed.  A worker that was presumed dead and
+        # displaced must abort instead of submitting — its peer took
+        # the lease over and owns this scenario's submission now;
+        # submitting both would double-count it.
+        if heartbeat.lease_lost.is_set():
+            self._abort(index)
+            return index
+        self._submit(index, outcome)
+        return index
+
+    def _abort(self, index: int) -> None:
+        self.aborted.append(index)
+        logger.warning(
+            "[%s] lease for scenario %d was taken over while "
+            "running; discarding the local result", self.worker_id, index)
+
+    def _crash_hook(self) -> bool:
+        """Test hook: simulated death after the N-th successful claim —
+        keep the lease(s), never heartbeat, write nothing.  The leases go
+        stale and the scenarios are reclaimed by peers."""
+        if (self.crash_after_claims is not None
+                and self._claims >= self.crash_after_claims):
+            self.crashed = True
+            return True
+        return False
+
     def step(self) -> Optional[int]:
-        """Claim and execute one scenario; ``None`` when nothing is left.
+        """Claim and execute one scenario (or one cohort of scenarios, with
+        ``batch_size > 1``); ``None`` when nothing is left.
 
         "Nothing" means: no pending scenario this worker may take right now.
         Live leases held by other workers are *not* waited for — callers
@@ -242,35 +299,81 @@ class ClusterWorker:
         if self.crashed:
             return None
         snapshot = self._last_snapshot = self.transport.snapshot()
+        if self.batch_size > 1:
+            return self._step_cohort(snapshot)
         for index in self._next_candidates(snapshot):
             if not self.transport.try_claim(index, self.worker_id):
                 continue
             self._claims += 1
-            if (self.crash_after_claims is not None
-                    and self._claims >= self.crash_after_claims):
-                # Simulated death mid-scenario: keep the lease, never
-                # heartbeat, write nothing.  The lease goes stale and the
-                # scenario is reclaimed by a peer.
-                self.crashed = True
+            if self._crash_hook():
                 return None
-            with _Heartbeat(self.transport, index, self.worker_id,
-                            self.plan.lease_timeout / 3.0) as heartbeat:
-                outcome = self._compute(index)
-            # The heartbeat thread is joined here: lease_lost is final for
-            # everything it observed.  A worker that was presumed dead and
-            # displaced must abort instead of submitting — its peer took
-            # the lease over and owns this scenario's submission now;
-            # submitting both would double-count it.
-            if heartbeat.lease_lost.is_set():
-                self.aborted.append(index)
-                logger.warning(
-                    "[%s] lease for scenario %d was taken over while "
-                    "running; discarding the local result", self.worker_id,
-                    index)
-                return index
-            self._submit(index, outcome)
-            return index
+            return self._execute_claimed(index)
         return None
+
+    def _step_cohort(self, snapshot: TaskSnapshot) -> Optional[int]:
+        """Claim up to ``batch_size`` analytic scenarios and run them as one
+        vectorized cohort — one lease and heartbeat per member, so each
+        member aborts or submits individually exactly as on the solo path.
+        """
+        from repro.runtime.batch import cohortable, execute_cohort
+
+        claimed: list[int] = []
+        for index in self._next_candidates(snapshot):
+            solo = not cohortable(self.plan.specs[index])
+            if solo and claimed:
+                # Run the cohort gathered so far first; the non-analytic
+                # scenario stays claimable for the next step (or a peer).
+                break
+            if not self.transport.try_claim(index, self.worker_id):
+                continue
+            self._claims += 1
+            if self._crash_hook():
+                return None
+            if solo:
+                return self._execute_claimed(index)
+            claimed.append(index)
+            if len(claimed) >= self.batch_size:
+                break
+        if not claimed:
+            return None
+        if len(claimed) == 1:
+            return self._execute_claimed(claimed[0])
+
+        # Cache hits submit straight away (their leases are fresh); the
+        # misses form the cohort.
+        payloads = []
+        for index in claimed:
+            outcome = self._load_cached(index)
+            if outcome is not None:
+                self._submit(index, outcome)
+            else:
+                payloads.append((index, self.plan.specs[index],
+                                 self.plan.seeds[index], self.plan.duration))
+        if not payloads:
+            return claimed[0]
+        if self._cohort_backend is None:
+            from repro.backends.vectorized import VectorizedAnalyticBackend
+            self._cohort_backend = VectorizedAnalyticBackend()
+        with contextlib.ExitStack() as stack:
+            beats = {
+                payload[0]: stack.enter_context(
+                    _Heartbeat(self.transport, payload[0], self.worker_id,
+                               self.plan.lease_timeout / 3.0))
+                for payload in payloads
+            }
+            outcomes = execute_cohort(payloads,
+                                      backend=self._cohort_backend)
+        # All heartbeat threads are joined here — per-member lease_lost is
+        # final, and a displaced member aborts while the rest submit.
+        specs = {payload[0]: payload[1] for payload in payloads}
+        for index, outcome in outcomes:
+            if beats[index].lease_lost.is_set():
+                self._abort(index)
+                continue
+            if self._cache is not None:
+                self._cache.store(specs[index], outcome, self.plan.duration)
+            self._submit(index, outcome)
+        return claimed[0]
 
     def run(self, poll_interval: float = 0.2,
             wait_for_stragglers: bool = True,
@@ -349,6 +452,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="machine-local resume-cache directory "
                              "(default: the plan's cache_dir; '' disables "
                              "caching)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="vectorized cohort size: claim up to this many "
+                             "analytic scenarios per step and advance them "
+                             "as one cohort (default: 1, solo execution)")
     parser.add_argument("--no-steal", action="store_true",
                         help="never take work from other shards")
     parser.add_argument("--no-wait", action="store_true",
@@ -377,7 +484,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         transport, worker_id=args.worker_id, shard=args.shard,
         steal=not args.no_steal, on_outcome=progress,
         crash_after_claims=args.crash_after_claims,
-        cache_dir=cache_dir)
+        cache_dir=cache_dir, batch_size=args.batch_size)
     print(f"[{worker.worker_id}] serving shard {worker.shard} of "
           f"{worker.plan.shard_plan.num_shards} over {transport.kind} "
           f"({len(worker.plan.specs)} scenarios total)", flush=True)

@@ -36,6 +36,13 @@ from repro.sim.channel import ClassicalChannel
 from repro.sim.engine import SimulationEngine
 from repro.sim.entity import Protocol
 
+#: Maintain per-lane ready lists by delta updates (add / remove / ACK /
+#: cycle-advance promotion) instead of rescanning the whole lane after every
+#: mutation.  The full rescan remains as the fallback path (first query,
+#: or after :meth:`LocalQueue.invalidate_ready_cache`); flipping this off
+#: restores rescan-on-every-mutation for debugging.
+INCREMENTAL_READY = True
+
 
 @dataclass
 class QueueItem:
@@ -48,6 +55,10 @@ class QueueItem:
     added_at: float
     pairs_remaining: int
     acknowledged: bool = False
+    #: Position in the owning lane's arrival sequence (assigned by
+    #: :meth:`LocalQueue.add`); delta-maintained ready lists merge on it to
+    #: keep arrival order without consulting the lane's ``_order`` list.
+    arrival_order: int = 0
     #: Virtual finish time used by weighted-fair-queueing schedulers.
     virtual_finish: float = 0.0
     #: Cycle until which generation for this item is suspended (used while the
@@ -101,6 +112,13 @@ class LocalQueue:
         self._ready_cache: Optional[list[QueueItem]] = None
         self._ready_cycle: int = -1
         self._ready_next_change: float = math.inf
+        #: Acknowledged items with a schedule/suspension threshold beyond
+        #: ``_ready_cycle``, in arrival order — the promotion frontier the
+        #: incremental path draws from when the cycle advances (valid only
+        #: while ``_ready_cache`` is not ``None``).
+        self._waiting: list[QueueItem] = []
+        #: Arrival-sequence source for :attr:`QueueItem.arrival_order`.
+        self._arrivals = itertools.count()
         #: Mutation counter, optionally shared with the owning
         #: :class:`DistributedQueue` so its flattened ready tuple can verify
         #: all lanes at once (one int compare instead of per-lane calls).
@@ -118,7 +136,8 @@ class LocalQueue:
         return len(self._items) >= self.max_size
 
     def invalidate_ready_cache(self) -> None:
-        """Drop the cached ready list (any readiness-affecting mutation)."""
+        """Drop the cached ready list (full-rescan fallback for any
+        readiness-affecting mutation the delta paths don't cover)."""
         self._ready_cache = None
         self._version_cell[0] += 1
 
@@ -129,9 +148,56 @@ class LocalQueue:
             raise ValueError(f"queue {self.queue_id} already holds seq {seq}")
         if self.is_full:
             raise OverflowError(f"queue {self.queue_id} is full")
+        item.arrival_order = next(self._arrivals)
         self._items[seq] = item
         self._order.append(seq)
-        self.invalidate_ready_cache()
+        if not INCREMENTAL_READY or self._ready_cache is None:
+            self.invalidate_ready_cache()
+            return
+        # Delta: an unacknowledged item is invisible to readiness until its
+        # ACK arrives (see :meth:`mark_acknowledged`), so the cached list —
+        # and its identity, which the schedulers memoise on — stays valid.
+        if item.acknowledged:
+            self._insert_visible(item)
+
+    def mark_acknowledged(self, item: QueueItem) -> None:
+        """Readiness delta for a resident item whose ACK just arrived
+        (``acknowledged`` already flipped by the caller)."""
+        if not INCREMENTAL_READY or self._ready_cache is None:
+            self.invalidate_ready_cache()
+            return
+        self._insert_visible(item)
+
+    def _insert_visible(self, item: QueueItem) -> None:
+        """Slot an acknowledged item into the cached ready list or the
+        waiting frontier, keeping both arrival-ordered."""
+        if item.pairs_remaining <= 0:
+            return
+        threshold = max(item.schedule_cycle, item.suspended_until_cycle)
+        if threshold <= self._ready_cycle:
+            # Ready at the cached cycle: publish a NEW list object (the
+            # identity change is what invalidates scheduler memoisation).
+            ready = list(self._ready_cache)
+            position = len(ready)
+            while (position > 0
+                   and ready[position - 1].arrival_order > item.arrival_order):
+                position -= 1
+            ready.insert(position, item)
+            self._ready_cache = ready
+            self._version_cell[0] += 1
+        else:
+            waiting = self._waiting
+            position = len(waiting)
+            while (position > 0
+                   and waiting[position - 1].arrival_order
+                   > item.arrival_order):
+                position -= 1
+            waiting.insert(position, item)
+            if threshold < self._ready_next_change:
+                # Tightening the crossing must bump the version so the
+                # owning DistributedQueue re-aggregates its flat horizon.
+                self._ready_next_change = threshold
+                self._version_cell[0] += 1
 
     def get(self, queue_seq: int) -> Optional[QueueItem]:
         """Item with the given sequence number, or ``None``."""
@@ -140,10 +206,30 @@ class LocalQueue:
     def remove(self, queue_seq: int) -> Optional[QueueItem]:
         """Remove and return the item with the given sequence number."""
         item = self._items.pop(queue_seq, None)
-        if item is not None:
-            self._order.remove(queue_seq)
+        if item is None:
+            return None
+        self._order.remove(queue_seq)
+        if not INCREMENTAL_READY or self._ready_cache is None:
             self.invalidate_ready_cache()
-        return item
+            return item
+        # Delta removal.  Identity scans throughout: QueueItem's dataclass
+        # equality compares fields, and two distinct items may compare
+        # equal — only ``is`` names the right one.
+        for position, ready_item in enumerate(self._ready_cache):
+            if ready_item is item:
+                ready = list(self._ready_cache)
+                del ready[position]
+                self._ready_cache = ready
+                self._version_cell[0] += 1
+                return item
+        for position, waiting_item in enumerate(self._waiting):
+            if waiting_item is item:
+                # ``_ready_next_change`` may now be earlier than any real
+                # crossing; that is conservative — the promotion pass at
+                # that cycle finds nothing and recomputes the horizon.
+                del self._waiting[position]
+                return item
+        return item  # unacknowledged (or pairs exhausted): was invisible
 
     def items_in_order(self) -> list[QueueItem]:
         """All items in arrival order."""
@@ -158,10 +244,13 @@ class LocalQueue:
         of a waiting item.  Callers must treat the returned list as
         read-only (the EGP and schedulers already do).
         """
-        if (self._ready_cache is not None
-                and self._ready_cycle <= cycle < self._ready_next_change):
-            return self._ready_cache
+        if self._ready_cache is not None and self._ready_cycle <= cycle:
+            if cycle < self._ready_next_change:
+                return self._ready_cache
+            if INCREMENTAL_READY:
+                return self._promote(cycle)
         ready = []
+        waiting = []
         next_change = math.inf
         items = self._items
         for seq in self._order:
@@ -180,11 +269,50 @@ class LocalQueue:
                 threshold = max(item.schedule_cycle,
                                 item.suspended_until_cycle)
                 if threshold > cycle:
+                    waiting.append(item)
                     next_change = min(next_change, threshold)
         self._ready_cache = ready
+        self._waiting = waiting
         self._ready_cycle = cycle
         self._ready_next_change = next_change
         return ready
+
+    def _promote(self, cycle: int) -> list[QueueItem]:
+        """Cycle-advance delta: move waiting items whose threshold passed
+        into the ready list instead of rescanning the whole lane."""
+        promoted = []
+        waiting = []
+        next_change = math.inf
+        for item in self._waiting:
+            if item.pairs_remaining <= 0:
+                continue  # delivered out from under us; removal is pending
+            threshold = max(item.schedule_cycle, item.suspended_until_cycle)
+            if threshold <= cycle:
+                promoted.append(item)
+            else:
+                waiting.append(item)
+                next_change = min(next_change, threshold)
+        self._waiting = waiting
+        self._ready_cycle = cycle
+        self._ready_next_change = next_change
+        if promoted:
+            # Arrival-order merge of two arrival-ordered runs, into a NEW
+            # list object (identity change = memoisation invalidation).
+            ready = self._ready_cache
+            merged = []
+            i = j = 0
+            while i < len(ready) and j < len(promoted):
+                if ready[i].arrival_order <= promoted[j].arrival_order:
+                    merged.append(ready[i])
+                    i += 1
+                else:
+                    merged.append(promoted[j])
+                    j += 1
+            merged.extend(ready[i:])
+            merged.extend(promoted[j:])
+            self._ready_cache = merged
+            self._version_cell[0] += 1
+        return self._ready_cache
 
 
 @dataclass
@@ -392,6 +520,18 @@ class DistributedQueue(Protocol):
         self._flat_ready = flat
         return flat
 
+    def next_ready_change(self) -> float:
+        """Earliest cycle at which a currently waiting item becomes ready
+        without any further mutation (``math.inf`` when none is pending).
+
+        Valid for the cycle passed to the latest :meth:`ready_items` call —
+        the EGP consults it right after an empty ready answer to decide
+        when a poll could next be useful (busy-poll elision).  It may be
+        conservative (earlier than any real crossing) after a waiting item
+        was removed, which only costs one extra promotion pass.
+        """
+        return self._flat_next_change
+
     # ------------------------------------------------------------------ #
     # Frame handling
     # ------------------------------------------------------------------ #
@@ -463,21 +603,29 @@ class DistributedQueue(Protocol):
         pending = self._pending.pop(frame.comm_seq, None)
         if pending is None:
             return  # duplicate ACK after retransmission
+        queue = self.queues[frame.queue_id]
+        resident: Optional[QueueItem]
         if pending.item is not None:
-            item = pending.item
+            # Master origin: the item has been resident (unacknowledged,
+            # hence invisible to readiness) since the local add.
+            item = resident = pending.item
         else:
             # Slave origin: we only now learn the queue sequence number.
             item = self._make_item(pending.frame.request, frame.queue_id,
                                    frame.queue_seq,
                                    pending.frame.schedule_cycle,
                                    pending.frame.timeout_cycle)
-            queue = self.queues[frame.queue_id]
             if queue.get(frame.queue_seq) is None:
                 queue.add(item)
+                resident = item
+            else:
+                resident = None  # defensive: never feed a non-resident
+                # item to the ready list (the resident copy rules)
         item.acknowledged = True
-        # The item may already have been in the queue (master origin):
-        # flipping ``acknowledged`` changes readiness, so drop the cache.
-        self.queues[frame.queue_id].invalidate_ready_cache()
+        # Flipping ``acknowledged`` changes readiness: delta-insert the
+        # resident item (or rescan, when the incremental path is off).
+        if resident is not None:
+            queue.mark_acknowledged(resident)
         if self.on_item_added is not None:
             self.on_item_added(item)
         pending.callback(item, None)

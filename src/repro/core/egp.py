@@ -285,6 +285,11 @@ class EGP(Protocol):
     def release_delivered_pair(self, logical_qubit_id: int) -> None:
         """Free the storage qubit of a delivered pair (called by higher layer)."""
         self.qmm.release_storage(logical_qubit_id)
+        if self.timer_elision and self.dqp.total_length() == 0:
+            # Nothing resident to serve: the poll would provably answer
+            # "no", and any future add schedules its own poll
+            # (``_on_queue_item_added``).
+            return
         self.mhp.notify_work()
 
     # ------------------------------------------------------------------ #
@@ -365,7 +370,21 @@ class EGP(Protocol):
 
         ready = self.dqp.ready_items(cycle)
         if not ready:
-            # Nothing is ready yet; if items are merely waiting for their
+            if self.timer_elision:
+                # Busy-poll elision: the queue's incremental ready cache
+                # already knows the earliest cycle at which a waiting item
+                # crosses its schedule/suspension threshold (valid right
+                # after the ``ready_items`` call above).  Poll exactly
+                # then — an unacknowledged item needs no poll until its
+                # ACK arrives, and that ACK schedules its own poll
+                # (``_on_queue_item_added``), so ``inf`` means stop.
+                watermark = self.dqp.next_ready_change()
+                if math.isfinite(watermark):
+                    self.mhp.notify_work(
+                        not_before=self.mhp.cycle_start(int(watermark)) +
+                        self.scenario.timing.mhp_cycle)
+                return PollResponse.no_attempt()
+            # Reference pattern: if items are merely waiting for their
             # schedule cycle, make sure the MHP polls again when the earliest
             # one becomes ready (avoids a dead stop on rounding edge cases).
             pending = [item.schedule_cycle

@@ -34,7 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
 #: the filename instead of the key hash; outcomes record events_processed.
 #: v4: the event engine joins the filename (``<key>.<backend>.<engine>.json``)
 #: and the wrapper payload; outcomes record the engine.
-CACHE_VERSION = 4
+#: v5: outcomes record the cohort size when produced by a vectorized cohort
+#: (``None`` on the solo path) — provenance like the engine field.
+CACHE_VERSION = 5
 
 #: Canonical filename of the persisted scenario cost model (see
 #: :class:`repro.cluster.planner.RecordedCostModel`): it lives next to the

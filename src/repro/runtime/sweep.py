@@ -123,6 +123,12 @@ class ScenarioOutcome:
     engine: str = field(default="heap", compare=False)
     wall_time: float = field(default=0.0, compare=False)
     from_cache: bool = field(default=False, compare=False)
+    #: Cohort size when the scenario ran inside a vectorized cohort
+    #: (``None`` for the solo path).  Provenance like ``engine`` — the
+    #: results are bit-identical either way, so it is excluded from
+    #: comparison; recorded so cost models can learn batched throughput
+    #: separately from solo throughput.
+    cohort: Optional[int] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -153,6 +159,7 @@ class ScenarioOutcome:
             engine=data.get("engine", "heap"),
             wall_time=data.get("wall_time", 0.0),
             from_cache=data.get("from_cache", False),
+            cohort=data.get("cohort"),
         )
 
 
@@ -261,6 +268,22 @@ def _execute_scenario(payload: tuple[int, ScenarioSpec, int, float],
     return index, execute_scenario(spec, seed, duration)
 
 
+def _execute_task(task: tuple) -> list[tuple[int, ScenarioOutcome]]:
+    """Pool-worker dispatcher for solo scenarios and whole cohorts.
+
+    ``("solo", payload)`` runs one scenario; ``("cohort", payloads)`` runs
+    a list of payloads as one vectorized cohort in this process.  Either
+    way the result is a list of ``(index, outcome)`` pairs.
+    """
+    kind, payload = task
+    if kind == "solo":
+        index, spec, seed, duration = payload
+        return [(index, execute_scenario(spec, seed, duration))]
+    from repro.runtime.batch import execute_cohort
+
+    return execute_cohort(payload)
+
+
 class SweepRunner:
     """Run many scenarios, optionally in parallel, with deterministic seeds.
 
@@ -292,6 +315,14 @@ class SweepRunner:
         keys get the *same* derived seed (see :func:`derive_keyed_seed`),
         which makes e.g. scheduler comparisons paired.  Default: every
         scenario gets its own index-derived seed.
+    batch_size:
+        Cohort size for vectorized execution (``repro.runtime.batch``).
+        With ``batch_size > 1``, pending scenarios that resolve to the
+        ``analytic`` backend are grouped (in scenario order) into cohorts
+        of up to this many members, each advanced as one vectorized unit;
+        everything else runs on the solo path.  Results, seeds, resume
+        caching and failure isolation are identical to ``batch_size=1`` —
+        a cohort sweep is field-for-field equal to a serial sweep.
     """
 
     def __init__(self, scenarios: Sequence[ScenarioSpec], duration: float,
@@ -300,6 +331,7 @@ class SweepRunner:
                  start_method: Optional[str] = None,
                  on_outcome: Optional[Callable[[ScenarioOutcome], None]] = None,
                  seed_key: Optional[Callable[[ScenarioSpec], object]] = None,
+                 batch_size: int = 1,
                  ) -> None:
         self.scenarios = list(scenarios)
         if duration <= 0:
@@ -320,6 +352,7 @@ class SweepRunner:
         self._cache_report = CacheReport()
         self.on_outcome = on_outcome
         self.seed_key = seed_key
+        self.batch_size = max(1, int(batch_size))
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
@@ -393,21 +426,49 @@ class SweepRunner:
                 self.on_outcome(outcome)
 
         if pending:
-            if self.workers == 1 or len(pending) == 1:
-                for payload in pending:
-                    record(*_execute_scenario(payload))
+            tasks = self._build_tasks(pending)
+            if self.workers == 1 or len(tasks) == 1:
+                for task in tasks:
+                    for index, outcome in _execute_task(task):
+                        record(index, outcome)
             else:
                 context = multiprocessing.get_context(self.start_method)
-                processes = min(self.workers, len(pending))
+                processes = min(self.workers, len(tasks))
                 with context.Pool(processes=processes) as pool:
-                    for index, outcome in pool.imap_unordered(
-                            _execute_scenario, pending):
-                        record(index, outcome)
+                    for pairs in pool.imap_unordered(_execute_task, tasks):
+                        for index, outcome in pairs:
+                            record(index, outcome)
 
         assert all(outcome is not None for outcome in outcomes)
         return SweepResult(master_seed=self.master_seed,
                            duration=self.duration,
                            outcomes=list(outcomes))
+
+    def _build_tasks(self, pending: list[tuple[int, ScenarioSpec, int, float]],
+                     ) -> list[tuple]:
+        """Partition pending payloads into solo and cohort tasks.
+
+        Cohorts are formed over the analytic scenarios in scenario order;
+        a chunk of one falls back to the solo path (nothing to share).
+        """
+        if self.batch_size <= 1:
+            return [("solo", payload) for payload in pending]
+        from repro.runtime.batch import cohortable
+
+        tasks: list[tuple] = []
+        eligible: list[tuple[int, ScenarioSpec, int, float]] = []
+        for payload in pending:
+            if cohortable(payload[1]):
+                eligible.append(payload)
+            else:
+                tasks.append(("solo", payload))
+        for start in range(0, len(eligible), self.batch_size):
+            chunk = eligible[start:start + self.batch_size]
+            if len(chunk) == 1:
+                tasks.append(("solo", chunk[0]))
+            else:
+                tasks.append(("cohort", chunk))
+        return tasks
 
 
 def run_sweep(scenarios: Sequence[ScenarioSpec], duration: float,
