@@ -102,13 +102,20 @@ class StaticCostModel(CostModel):
                                            self.DEFAULT_BACKEND_FACTOR)
         engine = self.ENGINE_FACTORS.get(features.get("engine", "heap"),
                                          self.DEFAULT_ENGINE_FACTOR)
-        return max(duration, 1e-9) * max(units, 1e-6) * backend * engine
+        # A topology run simulates one full link stack per link on a shared
+        # engine (every link re-runs the workload), so cost scales with the
+        # link count.
+        links = max(1, int(features.get("links", 1)))
+        return (max(duration, 1e-9) * max(units, 1e-6) * backend * engine
+                * links)
 
     def cohort_estimate(self, spec: ScenarioSpec, duration: float,
                         cohort_size: int) -> float:
         base = self.estimate(spec, duration)
-        if cohort_size <= 1 or spec.backend_name() != "analytic":
-            # Only analytic scenarios join cohorts (repro.runtime.batch).
+        if (cohort_size <= 1 or spec.backend_name() != "analytic"
+                or getattr(spec, "topology", None) is not None):
+            # Only single-link analytic scenarios join cohorts
+            # (see repro.runtime.batch.cohortable).
             return base
         return base / min(float(cohort_size), self.ANALYTIC_COHORT_SPEEDUP)
 

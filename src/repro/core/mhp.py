@@ -41,6 +41,22 @@ from repro.sim.entity import Protocol
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PhysicsBackend
 
+_GATED_SAMPLE = None
+
+
+def _gated_sample():
+    """The all-failed herald sample of a switched-away attempt window.
+
+    Lazy because :mod:`repro.backends.base` imports hardware modules; only
+    switched topologies ever hit this path.
+    """
+    global _GATED_SAMPLE
+    if _GATED_SAMPLE is None:
+        from repro.backends.base import HeraldSample
+
+        _GATED_SAMPLE = HeraldSample(outcome_code=0, state=None)
+    return _GATED_SAMPLE
+
 
 class NodeMHP(Protocol):
     """Node-side MHP: polls the EGP each cycle and talks to the midpoint.
@@ -258,6 +274,18 @@ class MidpointHeraldingService(Protocol):
         self._channels: dict[str, ClassicalChannel] = {}
         self._pending: dict[int, _PendingGen] = {}
         self._sequence = 0
+        #: Optional optical-switch gate (set by ``repro.topology`` for
+        #: switched multi-link networks): a callable
+        #: ``(now, batch, stride, cycle_time) -> int``.  A positive return
+        #: is how many attempts of the window starting *now* reach the
+        #: heralding optics; a return ``<= 0`` means the switch is serving
+        #: another link — its magnitude is the number of attempts until
+        #: this link's slot next opens, and that many attempts (capped at
+        #: the window) fail deterministically.  Burning only up to the slot
+        #: boundary (instead of the whole window) keeps the next GEN
+        #: aligned with the link's active slot — fixed-size fast-forward
+        #: windows could otherwise phase-lock into a peer's slot and starve.
+        self.attempt_gate = None
         self.statistics = {
             "attempts": 0,
             "successes": 0,
@@ -337,7 +365,17 @@ class MidpointHeraldingService(Protocol):
         stride = max(1, min(frame_a.cycle_stride, frame_b.cycle_stride))
         cycle_time = self.scenario.timing.mhp_cycle
 
-        attempts_used, sample = model.resolve(self.rng, batch)
+        if self.attempt_gate is not None:
+            allowed = int(self.attempt_gate(self.now, batch, stride,
+                                            cycle_time))
+            if allowed <= 0:
+                burn = min(batch, max(1, -allowed))
+                attempts_used, sample = burn, _gated_sample()
+            else:
+                attempts_used, sample = model.resolve(self.rng,
+                                                      min(batch, allowed))
+        else:
+            attempts_used, sample = model.resolve(self.rng, batch)
         self.statistics["attempts"] += attempts_used - 1  # first one counted above
 
         # The successful (or last) attempt happens attempts_used - 1 attempt

@@ -10,6 +10,8 @@ from repro.runtime.scenarios import (
     table1_scenarios,
     robustness_scenarios,
     paper_grid,
+    chain_grid,
+    star_grid,
     ScenarioSpec,
 )
 from repro.runtime.cache import CacheReport, CacheSkip, ResumeCache
@@ -42,6 +44,8 @@ __all__ = [
     "table1_scenarios",
     "robustness_scenarios",
     "paper_grid",
+    "chain_grid",
+    "star_grid",
     "ScenarioSpec",
     "ScenarioOutcome",
     "SweepResult",

@@ -48,8 +48,12 @@ def cohortable(spec: ScenarioSpec) -> bool:
     Cohorts require the closed-form ``analytic`` backend: ``density`` has no
     closed-form tables to share, and ``analytic-exact`` exists precisely to
     mirror the density backend's event granularity for equivalence tests.
+    Topology scenarios are excluded too — a multi-link run already advances
+    several link stacks on one shared engine, which the cohort's interleaved
+    advancement scheme does not model.
     """
-    return spec.backend_name() == "analytic"
+    return (spec.backend_name() == "analytic"
+            and getattr(spec, "topology", None) is None)
 
 
 @dataclass

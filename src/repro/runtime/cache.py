@@ -36,7 +36,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
 #: and the wrapper payload; outcomes record the engine.
 #: v5: outcomes record the cohort size when produced by a vectorized cohort
 #: (``None`` on the solo path) — provenance like the engine field.
-CACHE_VERSION = 5
+#: v6: the wrapper payload records the topology (name + identity hash,
+#: ``None`` for single-link scenarios) so a topology redefinition under an
+#: unchanged scenario name is found and reported, and outcomes carry the
+#: per-hop / end-to-end fields of topology runs.
+CACHE_VERSION = 6
 
 #: Canonical filename of the persisted scenario cost model (see
 #: :class:`repro.cluster.planner.RecordedCostModel`): it lives next to the
@@ -84,6 +88,26 @@ def atomic_write_text(path: Path, text: str, durable: bool = False) -> None:
             handle.flush()
             os.fsync(handle.fileno())
     tmp.replace(path)
+
+
+def _topology_stamp(spec: "ScenarioSpec") -> Optional[dict]:
+    """The topology recorded in (and checked against) a cache entry.
+
+    Like the backend and engine, the topology lives in the wrapper payload
+    rather than the key hash: redefining a scenario's topology without
+    renaming it then *finds* the stale entry and reports a skip instead of
+    silently recomputing under a fresh key.
+    """
+    topology = getattr(spec, "topology", None)
+    if topology is None:
+        return None
+    return {"name": topology.name, "key": topology.identity_key()}
+
+
+def _topology_label(stamp: Optional[dict]) -> str:
+    if not isinstance(stamp, dict):
+        return "a single-link scenario"
+    return f"topology {stamp.get('name')!r} ({stamp.get('key')})"
 
 
 @dataclass
@@ -210,6 +234,14 @@ class ResumeCache:
                       f"{entry_engine!r}, this run resolves to {engine!r}")
             self._log_skip(spec.name, reason)
             return None, reason
+        expected_topology = _topology_stamp(spec)
+        entry_topology = data.get("topology")
+        if entry_topology != expected_topology:
+            reason = (f"cache entry written under "
+                      f"{_topology_label(entry_topology)}, this run uses "
+                      f"{_topology_label(expected_topology)}")
+            self._log_skip(spec.name, reason)
+            return None, reason
         try:
             outcome = ScenarioOutcome.from_dict(data["outcome"])
         except (KeyError, TypeError) as error:
@@ -234,6 +266,7 @@ class ResumeCache:
             "cache_version": CACHE_VERSION,
             "backend": outcome.backend,
             "engine": outcome.engine,
+            "topology": _topology_stamp(spec),
             "outcome": outcome.to_dict(),
         }
         atomic_write_text(path, json.dumps(payload))

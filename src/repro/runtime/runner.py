@@ -40,6 +40,17 @@ class RunResult:
     #: benchmarks use to compare runs across machines.  Identical across
     #: event engines (the equivalence suite pins this).
     events_processed: int = 0
+    #: Per-link (hop) delivery digests for multi-link topology runs
+    #: (``repro.topology``): one plain-data dict per link — pairs,
+    #: throughput, fidelity, latency, errors.  ``None`` for single-link runs.
+    hops: Optional[list] = None
+    #: End-to-end statistics of a topology run: chain swap-ASAP delivery
+    #: (pairs, fidelity, latency, swaps) or switched-star aggregate
+    #: (pairs, fairness).  ``None`` for single-link runs.
+    end_to_end: Optional[dict] = None
+    #: Name of the topology the run was simulated on; ``None`` = the
+    #: classic single link.
+    topology: Optional[str] = None
     metrics: Optional[MetricsCollector] = field(default=None, repr=False,
                                                 compare=False)
     network: Optional[LinkLayerNetwork] = field(default=None, repr=False,

@@ -17,7 +17,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import typing
 from dataclasses import dataclass
 from typing import Optional
 
@@ -25,6 +24,7 @@ from repro.core.messages import Priority, RequestType
 from repro.hardware.parameters import ScenarioConfig, lab_scenario, ql2020_scenario
 from repro.runtime.runner import RunResult, SimulationRun
 from repro.runtime.workload import UsagePattern, WorkloadSpec
+from repro.topology.spec import Topology, build_dataclass as _build_dataclass
 
 #: Load levels of the long runs (Section 6): name -> f_P.
 LONG_RUN_LOADS: dict[str, float] = {"Low": 0.7, "High": 0.99, "Ultra": 1.5}
@@ -64,32 +64,6 @@ USAGE_PATTERNS: dict[str, UsagePattern] = {
 }
 
 
-def _build_dataclass(cls: type, data: dict):
-    """Rebuild a (possibly nested) dataclass from ``dataclasses.asdict`` output.
-
-    Field types are resolved through ``typing.get_type_hints`` (the modules
-    use ``from __future__ import annotations``, so ``fields()`` only carries
-    strings); nested dataclasses and ``Optional`` wrappers are reconstructed
-    recursively.  Unknown keys are ignored so older serialised plans keep
-    loading after a field is added.
-    """
-    hints = typing.get_type_hints(cls)
-    kwargs = {}
-    for spec_field in dataclasses.fields(cls):
-        if spec_field.name not in data:
-            continue
-        value = data[spec_field.name]
-        hint = hints.get(spec_field.name)
-        if typing.get_origin(hint) is typing.Union:
-            args = [arg for arg in typing.get_args(hint)
-                    if arg is not type(None)]
-            hint = args[0] if len(args) == 1 else None
-        if dataclasses.is_dataclass(hint) and isinstance(value, dict):
-            value = _build_dataclass(hint, value)
-        kwargs[spec_field.name] = value
-    return cls(**kwargs)
-
-
 @dataclass
 class ScenarioSpec:
     """A fully specified simulation scenario ready to run."""
@@ -107,6 +81,12 @@ class ScenarioSpec:
     #: Event-engine (queue implementation) name; ``None`` resolves through
     #: ``REPRO_ENGINE``.  A string for the same reasons as ``backend``.
     engine: Optional[str] = None
+    #: Multi-link network topology (:class:`repro.topology.Topology`);
+    #: ``None`` keeps the classic single-link run.  When set, ``scenario``
+    #: still names the per-link hardware used for display/cost features, but
+    #: the per-link parameters come from the topology's link specs and the
+    #: run dispatches to :class:`repro.topology.run.TopologyRun`.
+    topology: Optional[Topology] = None
 
     def backend_name(self) -> str:
         """The concrete backend name this spec resolves to right now."""
@@ -146,6 +126,8 @@ class ScenarioSpec:
             "attempt_batch_size": self.attempt_batch_size,
             "backend": self.backend,
             "engine": self.engine,
+            "topology": (None if self.topology is None
+                         else self.topology.to_dict()),
         }
 
     @classmethod
@@ -164,6 +146,8 @@ class ScenarioSpec:
             attempt_batch_size=data.get("attempt_batch_size", 1),
             backend=data.get("backend"),
             engine=data.get("engine"),
+            topology=(Topology.from_dict(data["topology"])
+                      if data.get("topology") else None),
         )
 
     def identity_payload(self) -> dict:
@@ -173,13 +157,17 @@ class ScenarioSpec:
         simulated under a different physics backend or queue implementation
         shares an identity; the resume cache and cost models key on
         ``(identity, backend)`` — with the engine recorded alongside — so
-        those dimensions stay detectable) and the legacy ``seed`` field
-        (sweeps derive per-scenario seeds from the master seed).
+        those dimensions stay detectable), the legacy ``seed`` field
+        (sweeps derive per-scenario seeds from the master seed), and the
+        topology — which the resume cache records in the entry payload
+        (name + content hash) so a topology redefinition under an unchanged
+        scenario name is *found and reported* rather than silently missed.
         """
         payload = self.to_dict()
         payload.pop("backend")
         payload.pop("engine")
         payload.pop("seed")
+        payload.pop("topology")
         return payload
 
     def identity_key(self) -> str:
@@ -207,6 +195,9 @@ class ScenarioSpec:
             "expected_cycles_k": self.scenario.timing.expected_cycles_per_attempt_k,
             "batch": self.attempt_batch_size,
             "engine": self.engine_name(),
+            # Multi-link topologies simulate one full MHP/EGP stack per link
+            # on a shared engine, so cost scales roughly linearly in links.
+            "links": 1 if self.topology is None else len(self.topology.links),
             "workloads": [{
                 "pairs": (w.num_pairs if w.num_pairs is not None
                           else w.max_pairs),
@@ -222,6 +213,16 @@ class ScenarioSpec:
         """Build and run the scenario for ``duration`` simulated seconds."""
         batch = (self.attempt_batch_size if attempt_batch_size is None
                  else attempt_batch_size)
+        if self.topology is not None:
+            from repro.topology.run import TopologyRun
+
+            simulation = TopologyRun(
+                self.topology, self.workload, scheduler=self.scheduler,
+                seed=self.seed if seed is None else seed,
+                attempt_batch_size=batch,
+                backend=backend if backend is not None else self.backend,
+                engine=engine if engine is not None else self.engine)
+            return simulation.run(duration)
         simulation = SimulationRun(self.scenario, self.workload,
                                    scheduler=self.scheduler,
                                    seed=self.seed if seed is None else seed,
@@ -408,4 +409,77 @@ def paper_grid(hardwares: tuple[str, ...] = ("Lab", "QL2020"),
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise RuntimeError("paper grid produced duplicate scenario names")
+    return specs
+
+
+def chain_grid(lengths: tuple[int, ...] = (3, 4, 5),
+               hardwares: tuple[str, ...] = ("Lab",),
+               loads: tuple[str, ...] = ("High",),
+               max_pairs: int = 1,
+               min_fidelity: float = DEFAULT_MIN_FIDELITY,
+               attempt_batch_size: int = 1,
+               backend: Optional[str] = None,
+               engine: Optional[str] = None) -> list[ScenarioSpec]:
+    """Repeater-chain scenarios: swap-ASAP over ``lengths``-node chains.
+
+    Every link of a chain runs its own create-and-keep workload (chains
+    buffer delivered pairs for swapping, so measure-directly requests are
+    rejected by the topology runner); the end-to-end delivery statistics
+    appear in the result's ``end_to_end`` / ``hops`` fields.  Names encode
+    length, hardware and load — unique across the grid, as the resume cache
+    requires.
+    """
+    specs = []
+    for hardware in hardwares:
+        config = _hardware(hardware)
+        for num_nodes in lengths:
+            topology = Topology.chain(num_nodes, hardware=config)
+            for load_name in loads:
+                workload = WorkloadSpec(
+                    priority=Priority.CK,
+                    load_fraction=LONG_RUN_LOADS[load_name],
+                    max_pairs=max_pairs, min_fidelity=min_fidelity)
+                specs.append(ScenarioSpec(
+                    name=f"chain{num_nodes}_{hardware}_{load_name}",
+                    scenario=config, workload=(workload,),
+                    attempt_batch_size=attempt_batch_size,
+                    backend=backend, engine=engine, topology=topology))
+    return specs
+
+
+def star_grid(sizes: tuple[int, ...] = (2, 3),
+              hardwares: tuple[str, ...] = ("Lab",),
+              loads: tuple[str, ...] = ("High",),
+              kind: str = "MD",
+              max_pairs: int = 3,
+              slot_duration: float = 0.005,
+              insertion_loss_db: float = 1.5,
+              min_fidelity: float = DEFAULT_MIN_FIDELITY,
+              attempt_batch_size: int = 1,
+              backend: Optional[str] = None,
+              engine: Optional[str] = None) -> list[ScenarioSpec]:
+    """Switched-star scenarios: ``sizes`` node pairs time-sharing a midpoint.
+
+    Star links behave like independent single-link runs behind a lossy
+    round-robin switch, so any request kind works (default measure-directly,
+    the paper's high-rate service).  The aggregate ``end_to_end`` digest
+    includes Jain's fairness index over per-link deliveries.
+    """
+    specs = []
+    for hardware in hardwares:
+        config = _hardware(hardware)
+        for num_pairs in sizes:
+            topology = Topology.switched_star(
+                num_pairs, hardware=config, slot_duration=slot_duration,
+                insertion_loss_db=insertion_loss_db)
+            for load_name in loads:
+                workload = WorkloadSpec(
+                    priority=Priority[kind],
+                    load_fraction=LONG_RUN_LOADS[load_name],
+                    max_pairs=max_pairs, min_fidelity=min_fidelity)
+                specs.append(ScenarioSpec(
+                    name=f"star{num_pairs}_{hardware}_{kind}_{load_name}",
+                    scenario=config, workload=(workload,),
+                    attempt_batch_size=attempt_batch_size,
+                    backend=backend, engine=engine, topology=topology))
     return specs

@@ -41,7 +41,12 @@ import numpy as np
 
 from repro.analysis.metrics import MetricsSummary
 from repro.runtime.cache import CACHE_VERSION, CacheReport, CacheSkip, ResumeCache
-from repro.runtime.scenarios import ScenarioSpec
+from repro.runtime.scenarios import (
+    ScenarioSpec,
+    chain_grid,
+    paper_grid,
+    star_grid,
+)
 
 __all__ = [
     "CACHE_VERSION",
@@ -51,10 +56,13 @@ __all__ = [
     "ScenarioOutcome",
     "SweepResult",
     "SweepRunner",
+    "chain_grid",
     "derive_keyed_seed",
     "derive_scenario_seeds",
     "execute_scenario",
+    "paper_grid",
     "run_sweep",
+    "star_grid",
 ]
 
 
@@ -129,6 +137,16 @@ class ScenarioOutcome:
     #: comparison; recorded so cost models can learn batched throughput
     #: separately from solo throughput.
     cohort: Optional[int] = field(default=None, compare=False)
+    #: Per-link hop digests of a topology run (see
+    #: :attr:`repro.runtime.runner.RunResult.hops`); ``None`` for
+    #: single-link scenarios.  Plain data — participates in equality like
+    #: the summary.
+    hops: Optional[list] = None
+    #: End-to-end statistics of a topology run; ``None`` for single-link
+    #: scenarios.
+    end_to_end: Optional[dict] = None
+    #: Topology name, or ``None`` for the classic single link.
+    topology: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -160,6 +178,9 @@ class ScenarioOutcome:
             wall_time=data.get("wall_time", 0.0),
             from_cache=data.get("from_cache", False),
             cohort=data.get("cohort"),
+            hops=data.get("hops"),
+            end_to_end=data.get("end_to_end"),
+            topology=data.get("topology"),
         )
 
 
@@ -246,6 +267,9 @@ def execute_scenario(spec: ScenarioSpec, seed: int,
             events_processed=result.events_processed,
             engine=result.engine,
             wall_time=time.perf_counter() - started,
+            hops=result.hops,
+            end_to_end=result.end_to_end,
+            topology=result.topology,
         )
     except Exception:
         return ScenarioOutcome(

@@ -1,0 +1,281 @@
+"""Swap-ASAP entanglement swapping over per-link EGP instances.
+
+:class:`SwapAsapEGP` is the chain-level protocol that turns the link layer
+into a building block: it listens for delivered create-and-keep pairs on
+every link of a chain, buffers them as *segments* (entangled spans between
+two chain nodes) and, as soon as two segments meet at an interior node,
+performs a Bell-state measurement there — swap as soon as possible — until a
+segment spans the whole chain and is delivered as end-to-end entanglement.
+
+Physics handled here:
+
+* idle decay of buffered halves (each endpoint's device T1/T2 applied for
+  the time a segment waits in memory, via the same backend path as the
+  single-link EGP);
+* the BSM itself via :func:`repro.topology.compose.swap_states` (CNOT + H +
+  two projective measurements on the repeater's qubits, optional
+  depolarising gate noise);
+* Pauli-frame correction of the far endpoint (tracked classically, as real
+  repeater stacks do — no physical gate is applied);
+* memory management: the two measured repeater qubits are released back to
+  their EGPs immediately after the swap, the end-node qubits on end-to-end
+  delivery.
+
+The protocol is deliberately synchronous within the simulation event that
+delivers the second half of a link pair: swaps take zero simulated time
+(the BSM duration is far below the attempt timescales that dominate chain
+latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.messages import RequestType
+from repro.hardware.pair import EntangledPair
+from repro.quantum.density import DensityMatrix
+from repro.quantum.states import BellIndex
+from repro.topology.compose import swap_states
+
+if TYPE_CHECKING:
+    from repro.topology.network import LinkInstance
+    from repro.topology.spec import Topology
+
+
+@dataclass
+class _Endpoint:
+    """One end of a segment: a qubit held in a specific device slot."""
+
+    node: str
+    device: object
+    egp: object
+    slot: object
+    logical_qubit_id: int
+
+    def release(self) -> None:
+        self.egp.release_delivered_pair(self.logical_qubit_id)
+
+
+@dataclass
+class SwapEvent:
+    """Instrumentation record of one Bell-state measurement.
+
+    ``left_state`` / ``right_state`` are copies of the two input segment
+    states *after* idle decay was brought up to the swap time, so an
+    independent composition of them (``project_swap`` with the same
+    ``outcome``) must reproduce ``output_state`` exactly.
+    """
+
+    node: str
+    time: float
+    outcome: tuple[int, int]
+    left_state: DensityMatrix
+    right_state: DensityMatrix
+    output_state: DensityMatrix
+
+
+@dataclass
+class Segment:
+    """An entangled span between two chain nodes."""
+
+    left: _Endpoint
+    right: _Endpoint
+    pair: EntangledPair
+    #: Earliest CREATE submission among the constituent link requests.
+    created_at: float
+    #: Decay watermark: endpoint qubits are up to date at this sim time.
+    last_update: float
+    hops: list[dict] = field(default_factory=list)
+    swap_outcomes: list[tuple[int, int]] = field(default_factory=list)
+    swap_events: list[SwapEvent] = field(default_factory=list)
+
+
+@dataclass
+class EndToEndRecord:
+    """One delivered end-to-end pair."""
+
+    delivered_at: float
+    fidelity: float
+    latency: float
+    swaps: int
+    hops: list[dict]
+    swap_outcomes: list[tuple[int, int]]
+    #: Final two-qubit state (in-process instrumentation, not serialised).
+    state: Optional[DensityMatrix] = field(default=None, repr=False)
+    swap_events: list[SwapEvent] = field(default_factory=list, repr=False)
+
+
+class SwapAsapEGP:
+    """Chain controller performing entanglement swapping at interior nodes.
+
+    Parameters
+    ----------
+    topology:
+        A validated ``kind == "chain"`` topology.
+    links:
+        The instantiated :class:`~repro.topology.network.LinkInstance`
+        objects, in chain order (link ``i`` connects chain nodes ``i`` and
+        ``i + 1``; its internal "A" role is the left node).
+    rng:
+        Measurement randomness for the Bell-state measurements.
+    swap_gate_fidelity:
+        Depolarising no-error probability of the BSM's two-qubit gate
+        (1.0 = ideal BSM, the default).
+    """
+
+    def __init__(self, topology: "Topology", links: "list[LinkInstance]",
+                 rng: np.random.Generator,
+                 swap_gate_fidelity: float = 1.0) -> None:
+        self.topology = topology
+        self.links = links
+        self.rng = rng
+        self.swap_gate_fidelity = float(swap_gate_fidelity)
+        self.engine = links[0].network.engine
+        self.end_to_end: list[EndToEndRecord] = []
+        self.statistics = {"swaps": 0, "segments": 0, "pairs_delivered": 0}
+        self._interior = set(topology.interior_nodes())
+        self._end_left = topology.nodes[0]
+        self._end_right = topology.nodes[-1]
+        # (link index, entanglement id) -> {"A"/"B": (ok, arrival time)}
+        self._pending: dict[tuple, dict] = {}
+        # Segments waiting for a partner, keyed by their boundary node.
+        self._ending_at: dict[str, list[Segment]] = {}
+        self._starting_at: dict[str, list[Segment]] = {}
+        for link in links:
+            for role in ("A", "B"):
+                link.network.nodes[role].egp.add_ok_listener(
+                    lambda ok, link=link, role=role:
+                    self._on_ok(link, role, ok))
+
+    # ------------------------------------------------------------------ #
+    # Link deliveries -> segments
+    # ------------------------------------------------------------------ #
+    def _on_ok(self, link: "LinkInstance", role: str, ok) -> None:
+        if ok.request_type is not RequestType.KEEP:
+            raise RuntimeError(
+                "swap-ASAP chains serve create-and-keep traffic only; "
+                "a measure-directly OK reached the chain controller")
+        key = (link.index, tuple(ok.entanglement_id))
+        pending = self._pending.setdefault(key, {})
+        pending[role] = (ok, self.engine.now)
+        if len(pending) < 2:
+            return
+        del self._pending[key]
+        self._segment_from_link(link, pending["A"][0], pending["A"][1],
+                                pending["B"][0], pending["B"][1])
+
+    def _segment_from_link(self, link: "LinkInstance", ok_a, arrived_a: float,
+                           ok_b, arrived_b: float) -> None:
+        now = self.engine.now
+        pair = ok_a.pair
+        endpoints = []
+        for role, ok, arrived in (("A", ok_a, arrived_a),
+                                  ("B", ok_b, arrived_b)):
+            node = link.network.nodes[role]
+            slot = node.device.slot_by_id(ok.logical_qubit_id)
+            # Bring the half up to date: the link EGP decays each side only
+            # until its own delivery; buffer time since then is ours.
+            node.device.apply_idle_decay(pair, slot, now - arrived)
+            endpoints.append(_Endpoint(
+                node=link.spec.node_a if role == "A" else link.spec.node_b,
+                device=node.device, egp=node.egp, slot=slot,
+                logical_qubit_id=ok.logical_qubit_id))
+        fidelity = pair.fidelity(BellIndex.PSI_PLUS)
+        created_at = min(ok_a.create_time, ok_b.create_time)
+        segment = Segment(
+            left=endpoints[0], right=endpoints[1], pair=pair,
+            created_at=created_at, last_update=now,
+            hops=[{"link": link.spec.name, "fidelity": fidelity,
+                   "latency": now - created_at}])
+        self.statistics["segments"] += 1
+        self._add_segment(segment)
+
+    # ------------------------------------------------------------------ #
+    # Swap-ASAP core
+    # ------------------------------------------------------------------ #
+    def _add_segment(self, segment: Segment) -> None:
+        while True:
+            left_queue = self._ending_at.get(segment.left.node)
+            if segment.left.node in self._interior and left_queue:
+                other = left_queue.pop(0)
+                self._unregister(other)
+                segment = self._swap(other, segment)
+                continue
+            right_queue = self._starting_at.get(segment.right.node)
+            if segment.right.node in self._interior and right_queue:
+                other = right_queue.pop(0)
+                self._unregister(other)
+                segment = self._swap(segment, other)
+                continue
+            break
+        if (segment.left.node == self._end_left
+                and segment.right.node == self._end_right):
+            self._deliver(segment)
+            return
+        self._starting_at.setdefault(segment.left.node, []).append(segment)
+        self._ending_at.setdefault(segment.right.node, []).append(segment)
+
+    def _unregister(self, segment: Segment) -> None:
+        for queues, node in ((self._starting_at, segment.left.node),
+                             (self._ending_at, segment.right.node)):
+            queue = queues.get(node)
+            if queue is not None and segment in queue:
+                queue.remove(segment)
+
+    def _refresh(self, segment: Segment, now: float) -> None:
+        """Apply buffered idle decay to both endpoint qubits."""
+        duration = now - segment.last_update
+        if duration > 0:
+            segment.left.device.apply_idle_decay(segment.pair,
+                                                 segment.left.slot, duration)
+            segment.right.device.apply_idle_decay(segment.pair,
+                                                  segment.right.slot, duration)
+        segment.last_update = now
+
+    def _swap(self, left: Segment, right: Segment) -> Segment:
+        now = self.engine.now
+        node = left.right.node
+        self._refresh(left, now)
+        self._refresh(right, now)
+        left_state = left.pair.state.copy()
+        right_state = right.pair.state.copy()
+        outcome, state = swap_states(left.pair.state, right.pair.state,
+                                     self.rng,
+                                     gate_fidelity=self.swap_gate_fidelity)
+        event = SwapEvent(node=node, time=now, outcome=outcome,
+                          left_state=left_state, right_state=right_state,
+                          output_state=state.copy())
+        # The two measured repeater qubits are free again.
+        left.right.release()
+        right.left.release()
+        self.statistics["swaps"] += 1
+        merged_pair = EntangledPair(state=state,
+                                    heralded_bell=BellIndex.PSI_PLUS,
+                                    created_at=now, corrected=True)
+        return Segment(
+            left=left.left, right=right.right, pair=merged_pair,
+            created_at=min(left.created_at, right.created_at),
+            last_update=now,
+            hops=left.hops + right.hops,
+            swap_outcomes=left.swap_outcomes + [outcome] + right.swap_outcomes,
+            swap_events=left.swap_events + [event] + right.swap_events)
+
+    def _deliver(self, segment: Segment) -> None:
+        now = self.engine.now
+        self._refresh(segment, now)
+        record = EndToEndRecord(
+            delivered_at=now,
+            fidelity=segment.pair.fidelity(BellIndex.PSI_PLUS),
+            latency=now - segment.created_at,
+            swaps=len(segment.swap_outcomes),
+            hops=segment.hops,
+            swap_outcomes=segment.swap_outcomes,
+            state=segment.pair.state.copy(),
+            swap_events=segment.swap_events)
+        self.end_to_end.append(record)
+        self.statistics["pairs_delivered"] += 1
+        segment.left.release()
+        segment.right.release()
