@@ -60,6 +60,10 @@ PLAN_NAME = "plan.json"
 TASKS_DIR = "tasks"
 RESULTS_DIR = "results"
 WORKERS_DIR = "workers"
+#: Per-worker observability metrics snapshots (``telemetry/<worker>.json``),
+#: uploaded through the transport's ``telemetry`` op when ``REPRO_OBS``
+#: enables metrics.  Side data: never read by the protocol itself.
+TELEMETRY_DIR = "telemetry"
 
 
 def lease_path(cluster_dir: Path, index: int) -> Path:
@@ -319,7 +323,7 @@ class ClusterCoordinator:
         """Discard all protocol state (plan, leases, done markers, parts)."""
         import shutil
 
-        for sub in (TASKS_DIR, RESULTS_DIR, WORKERS_DIR):
+        for sub in (TASKS_DIR, RESULTS_DIR, WORKERS_DIR, TELEMETRY_DIR):
             shutil.rmtree(self.cluster_dir / sub, ignore_errors=True)
         (self.cluster_dir / PLAN_NAME).unlink(missing_ok=True)
 
@@ -396,13 +400,52 @@ class ClusterCoordinator:
         With ``require_complete`` (default) the merge fails loudly if any
         scenario index is missing; pass ``False`` to collect a partial
         result from a still-running or abandoned grid.
+
+        When workers uploaded observability telemetry (``REPRO_OBS``
+        enabled metrics), the per-worker registries are merged and attached
+        as ``SweepResult.telemetry`` — and written next to the parts as
+        ``metrics.json`` / ``metrics.prom``.  Without telemetry the field
+        stays ``None``, so the merged result is field-for-field identical
+        to an uninstrumented run.
         """
-        return merge_results(
+        result = merge_results(
             self.result_parts(),
             expected_count=len(self.specs) if require_complete else None,
             master_seed=self.master_seed,
             duration=self.duration,
         )
+        telemetry = self.merged_telemetry()
+        if telemetry is not None:
+            result.telemetry = telemetry.to_dict()
+            atomic_write_text(self.cluster_dir / "metrics.json",
+                              telemetry.to_json(indent=2) + "\n")
+            atomic_write_text(self.cluster_dir / "metrics.prom",
+                              telemetry.to_prometheus())
+        return result
+
+    def merged_telemetry(self):
+        """Merge every ``telemetry/<worker>.json`` into one registry.
+
+        Returns a :class:`repro.obs.metrics.MetricsRegistry`, or ``None``
+        when no worker uploaded telemetry (the ``REPRO_OBS``-off default).
+        Unreadable snapshots are skipped — telemetry is best-effort side
+        data and must never fail a merge.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        directory = self.cluster_dir / TELEMETRY_DIR
+        if not directory.exists():
+            return None
+        merged: Optional[MetricsRegistry] = None
+        for path in sorted(directory.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if merged is None:
+                merged = MetricsRegistry()
+            merged.merge(payload)
+        return merged
 
     # ------------------------------------------------------------------ #
     # Cost-model persistence

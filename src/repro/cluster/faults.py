@@ -317,5 +317,9 @@ class FaultyTransport(Transport):
         return self._apply("submit", self.inner.submit_result,
                            worker_id, index, outcome, attempt)
 
+    def send_telemetry(self, worker_id: str, metrics: dict) -> None:
+        return self._apply("telemetry", self.inner.send_telemetry,
+                           worker_id, metrics)
+
     def close(self) -> None:
         self.inner.close()

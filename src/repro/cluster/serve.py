@@ -38,6 +38,7 @@ Pass ``--autoscale N`` to let the coordinator also run a local
 from __future__ import annotations
 
 import argparse
+import logging
 import socketserver
 import threading
 import time
@@ -54,6 +55,8 @@ from repro.cluster.transport import (
     send_frame,
 )
 from repro.runtime.sweep import ScenarioOutcome
+
+logger = logging.getLogger("repro.cluster.serve")
 
 
 class ClusterCoordinatorServer(socketserver.ThreadingTCPServer):
@@ -140,6 +143,12 @@ class ClusterCoordinatorServer(socketserver.ThreadingTCPServer):
                 self.local.submit_result(str(frame["worker_id"]),
                                          self._checked_index(frame), outcome,
                                          attempt=int(frame.get("attempt", 0)))
+                return {"ok": True}
+            if op == "telemetry":
+                metrics = frame["metrics"]
+                if not isinstance(metrics, dict):
+                    raise ValueError("telemetry metrics must be an object")
+                self.local.send_telemetry(str(frame["worker_id"]), metrics)
                 return {"ok": True}
             if op == "status":
                 return {"ok": True, "status": self.status()}
@@ -248,6 +257,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", default="",
                         help="write the merged sweep result JSON here on "
                              "completion")
+    parser.add_argument("--verbose", action="store_true",
+                        help="DEBUG-level logging (default INFO; see also "
+                             "$REPRO_LOG)")
     return parser
 
 
@@ -267,7 +279,10 @@ def build_grid(args: argparse.Namespace):
 
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point: ``python -m repro.cluster.serve``."""
+    from repro.obs.logconf import configure_logging
+
     args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose)
     specs = build_grid(args)
     coordinator = ClusterCoordinator(
         specs, args.duration, args.cluster_dir, master_seed=args.seed,
@@ -279,12 +294,12 @@ def main(argv: Optional[list[str]] = None) -> int:
                                       reset=args.reset)
     server.start_background()
     plan = coordinator.plan()
-    print(f"[serve] {len(specs)} scenarios x {args.duration:.2f}s simulated "
-          f"in {plan.num_shards} shard(s) on {server.address} "
-          f"(sink {args.sink}, lease timeout {args.lease_timeout:.0f}s)",
-          flush=True)
-    print(f"[serve] workers: python -m repro.cluster.worker "
-          f"--coordinator <this-host>:{server.server_address[1]}", flush=True)
+    logger.info("[serve] %d scenarios x %.2fs simulated in %d shard(s) on "
+                "%s (sink %s, lease timeout %.0fs)", len(specs),
+                args.duration, plan.num_shards, server.address, args.sink,
+                args.lease_timeout)
+    logger.info("[serve] workers: python -m repro.cluster.worker "
+                "--coordinator <this-host>:%d", server.server_address[1])
 
     scaler: Optional[ProcessPoolScaler] = None
     if args.autoscale > 0:
@@ -304,25 +319,25 @@ def main(argv: Optional[list[str]] = None) -> int:
             status = server.status()
             done = status["total"]["done"]
             if done != last_done:
-                print(f"[serve] progress: {done}/{status['scenarios']} done, "
-                      f"{status['total']['leased']} leased, "
-                      f"{status['total']['stale']} stale, "
-                      f"{status['total']['pending']} pending "
-                      f"({status['registered_workers']} worker "
-                      f"registration(s))", flush=True)
+                logger.info(
+                    "[serve] progress: %d/%d done, %d leased, %d stale, "
+                    "%d pending (%d worker registration(s))", done,
+                    status["scenarios"], status["total"]["leased"],
+                    status["total"]["stale"], status["total"]["pending"],
+                    status["registered_workers"])
                 last_done = done
             if scaler is not None and time.monotonic() >= next_scale:
                 advice = scaler.scale_once(status)
                 if not advice.is_noop:
-                    print(f"[serve] autoscale: spawn {advice.spawn}, retire "
-                          f"{advice.retire} ({advice.reason})", flush=True)
+                    logger.info("[serve] autoscale: spawn %d, retire %d (%s)",
+                                advice.spawn, advice.retire, advice.reason)
                 next_scale = time.monotonic() + args.scale_interval
             if status["complete"] and args.exit_when_complete:
                 break
             time.sleep(args.poll_interval)
     except KeyboardInterrupt:
-        print("[serve] interrupted; coordinator state is durable — "
-              "re-run serve on the same --cluster-dir to resume", flush=True)
+        logger.info("[serve] interrupted; coordinator state is durable — "
+                    "re-run serve on the same --cluster-dir to resume")
         if scaler is not None:
             scaler.shutdown()
         server.stop()
@@ -336,15 +351,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     server.stop()
     result = coordinator.merge()
     recorded = coordinator.record_costs(result)
-    print(f"[serve] merged {len(result.outcomes)} outcome(s): "
-          f"{len(result.completed)} ok / {len(result.failed)} failed",
-          flush=True)
+    logger.info("[serve] merged %d outcome(s): %d ok / %d failed",
+                len(result.outcomes), len(result.completed),
+                len(result.failed))
+    if result.telemetry is not None:
+        logger.info("[serve] merged worker telemetry written to %s",
+                    Path(args.cluster_dir) / "metrics.json")
     if recorded is not None:
-        print(f"[serve] cost model updated at {recorded}", flush=True)
+        logger.info("[serve] cost model updated at %s", recorded)
     if args.out:
         result.save(args.out)
-        print(f"[serve] merged sweep result written to {args.out}",
-              flush=True)
+        logger.info("[serve] merged sweep result written to %s", args.out)
     return 0
 
 

@@ -65,6 +65,7 @@ from typing import Callable, Mapping, Optional
 
 from repro.cluster.coordinator import (
     RESULTS_DIR,
+    TELEMETRY_DIR,
     WORKERS_DIR,
     ClusterPlan,
     atomic_write_json,
@@ -81,12 +82,14 @@ class TransportError(RuntimeError):
 
 #: Operations that are safe to deliver more than once: claims re-grant to
 #: their owner, registrations return the recorded shard, submits dedupe on
-#: ``(index, worker_id, attempt)``, heartbeats are pure refreshes, and the
-#: read-only ops (plan/snapshot/status) have no effect at all.  Only these
-#: may be retried after a connection error whose outcome is unknown — which,
-#: after this set grew to cover the whole protocol, is every operation.
+#: ``(index, worker_id, attempt)``, heartbeats are pure refreshes, telemetry
+#: uploads are whole-snapshot last-write-wins, and the read-only ops
+#: (plan/snapshot/status) have no effect at all.  Only these may be retried
+#: after a connection error whose outcome is unknown — which, after this set
+#: grew to cover the whole protocol, is every operation.
 IDEMPOTENT_OPS = frozenset({
     "plan", "register", "snapshot", "claim", "heartbeat", "submit", "status",
+    "telemetry",
 })
 
 
@@ -240,6 +243,16 @@ class Transport(ABC):
         with the same ``(index, worker_id, attempt)`` key (a retry after a
         connection reset whose first delivery may have been applied) writes
         the sink record at most once."""
+
+    def send_telemetry(self, worker_id: str, metrics: dict) -> None:
+        """Ship one worker's observability metrics snapshot.
+
+        ``metrics`` is a whole-registry snapshot
+        (:meth:`repro.obs.metrics.MetricsRegistry.to_dict`), so a duplicate
+        or reordered delivery is last-write-wins over the same content —
+        idempotent by construction.  Telemetry is best-effort side data: the
+        default implementation drops it, and no sweep result depends on it.
+        """
 
     def close(self) -> None:
         """Release connections / flush sinks."""
@@ -459,6 +472,13 @@ class FilesystemTransport(Transport):
                                    "finished_at": self.clock()},
                                   durable=True)
 
+    def send_telemetry(self, worker_id: str, metrics: dict) -> None:
+        # One file per worker, replaced whole on every upload: duplicate
+        # deliveries (and retries of unknown outcome) are last-write-wins
+        # over identical content, which keeps the op in IDEMPOTENT_OPS.
+        atomic_write_json(
+            self.cluster_dir / TELEMETRY_DIR / f"{worker_id}.json", metrics)
+
     def close(self) -> None:
         with self._lock:
             for sink in self._sinks.values():
@@ -519,6 +539,9 @@ class SocketTransport(Transport):
         self.retry_backoff = max(0.0, retry_backoff)
         self._lock = threading.Lock()
         self._closed = False
+        #: Total re-deliveries attempted after connection errors (all ops),
+        #: exposed for observability (worker telemetry) — not protocol state.
+        self.retries = 0
         self._sock: Optional[socket.socket] = self._connect(connect_retry)
         self.plan = ClusterPlan.from_dict(self.request("plan")["plan"])
 
@@ -585,6 +608,7 @@ class SocketTransport(Transport):
         last_error: Optional[TransportError] = None
         for attempt in range(attempts):
             if attempt:
+                self.retries += 1
                 time.sleep(delay)
                 delay = min(delay * 2.0, 2.0)
             with self._lock:
@@ -641,6 +665,9 @@ class SocketTransport(Transport):
                       outcome: ScenarioOutcome, attempt: int = 0) -> None:
         self.request("submit", worker_id=worker_id, index=index,
                      outcome=outcome.to_dict(), attempt=attempt)
+
+    def send_telemetry(self, worker_id: str, metrics: dict) -> None:
+        self.request("telemetry", worker_id=worker_id, metrics=metrics)
 
     def status(self) -> dict:
         """Coordinator-side progress counters (monitoring / autoscaling)."""

@@ -239,6 +239,22 @@ class ClusterWorker:
         self._cohort_backend = None
         self._cache = None if cache_dir is None else ResumeCache(cache_dir)
         self.shard = self.transport.register_worker(self.worker_id, shard)
+        self._own_indices = frozenset(
+            self.plan.shard_plan.shards[self.shard])
+        # Observability: a per-worker metrics registry when REPRO_OBS
+        # enables metrics, shipped to the coordinator through the
+        # transport's idempotent ``telemetry`` op on close().  None — the
+        # production default — costs nothing on the claim/execute path.
+        from repro.obs import config_from_env
+
+        config = config_from_env()
+        self.metrics = None
+        if config is not None and config.metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            self.metrics = MetricsRegistry(
+                base_labels={"worker": self.worker_id,
+                             "shard": str(self.shard)})
 
     # ------------------------------------------------------------------ #
     # Candidate selection
@@ -303,11 +319,40 @@ class ClusterWorker:
                 self._cache.store(spec, outcome, self.plan.duration)
         return outcome
 
+    def _note_claim(self, index: int,
+                    snapshot: Optional[TaskSnapshot]) -> None:
+        """Account one granted claim (steal / stale-lease takeover split)."""
+        self._claims += 1
+        if self.metrics is None:
+            return
+        self.metrics.counter("repro_worker_claims_total")
+        if index not in self._own_indices:
+            self.metrics.counter("repro_worker_steals_total")
+        if snapshot is not None:
+            age = snapshot.lease_ages.get(index)
+            if age is not None and age >= self.plan.lease_timeout:
+                # The claim displaced a stale lease: a peer died (or was
+                # presumed dead) mid-scenario and this worker took over.
+                self.metrics.counter("repro_worker_takeovers_total")
+
     def _submit(self, index: int, outcome: ScenarioOutcome) -> None:
         self._attempts += 1
         self.transport.submit_result(self.worker_id, index, outcome,
                                      attempt=self._attempts)
         self.executed.append(index)
+        if self.metrics is not None:
+            self.metrics.counter("repro_worker_submits_total",
+                                 status=outcome.status)
+            if outcome.from_cache:
+                self.metrics.counter("repro_worker_cache_hits_total")
+            else:
+                self.metrics.counter("repro_worker_scenarios_executed_total")
+                self.metrics.observe("repro_worker_scenario_wall_seconds",
+                                     outcome.wall_time)
+            self.metrics.counter("repro_worker_events_processed_total",
+                                 outcome.events_processed)
+            self.metrics.counter("repro_worker_events_elided_total",
+                                 outcome.events_elided)
         if self.on_outcome is not None:
             self.on_outcome(outcome)
 
@@ -330,6 +375,8 @@ class ClusterWorker:
 
     def _abort(self, index: int) -> None:
         self.aborted.append(index)
+        if self.metrics is not None:
+            self.metrics.counter("repro_worker_aborts_total")
         logger.warning(
             "[%s] lease for scenario %d was taken over while "
             "running; discarding the local result", self.worker_id, index)
@@ -361,7 +408,7 @@ class ClusterWorker:
         for index in self._next_candidates(snapshot):
             if not self.transport.try_claim(index, self.worker_id):
                 continue
-            self._claims += 1
+            self._note_claim(index, snapshot)
             if self._crash_hook():
                 return None
             return self._execute_claimed(index)
@@ -383,7 +430,7 @@ class ClusterWorker:
                 break
             if not self.transport.try_claim(index, self.worker_id):
                 continue
-            self._claims += 1
+            self._note_claim(index, snapshot)
             if self._crash_hook():
                 return None
             if solo:
@@ -486,7 +533,29 @@ class ClusterWorker:
         return len(self.executed)
 
     def close(self) -> None:
-        """Flush sinks / release the coordinator connection."""
+        """Flush sinks / release the coordinator connection.
+
+        Also the telemetry ship point: the metrics registry (when
+        ``REPRO_OBS`` enabled one) is uploaded as a whole snapshot through
+        the transport — best-effort, so a coordinator that already exited
+        never turns a clean worker shutdown into a failure.
+        """
+        if self.metrics is not None:
+            # Gauges, not counters: close() may run twice (run()'s finally
+            # plus an explicit call) and last-write-wins stays idempotent.
+            self.metrics.gauge("repro_worker_transport_retries",
+                               getattr(self.transport, "retries", 0))
+            schedule = getattr(self.transport, "schedule", None)
+            if schedule is not None:
+                self.metrics.gauge(
+                    "repro_worker_injected_faults",
+                    len(getattr(schedule, "injected", ())))
+            try:
+                self.transport.send_telemetry(self.worker_id,
+                                              self.metrics.to_dict())
+            except (TransportError, OSError) as error:
+                logger.warning("[%s] telemetry upload failed (%s); dropped",
+                               self.worker_id, error)
         self.transport.close()
 
 
@@ -522,7 +591,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "reclaim crashed peers' work")
     parser.add_argument("--crash-after-claims", type=int, default=None,
                         help=argparse.SUPPRESS)  # CI crash-recovery smoke
+    parser.add_argument("--verbose", action="store_true",
+                        help="DEBUG-level logging (default INFO; see also "
+                             "$REPRO_LOG)")
     args = parser.parse_args(argv)
+
+    from repro.obs.logconf import configure_logging
+
+    configure_logging(verbose=args.verbose)
 
     if args.coordinator is not None:
         transport: Transport = SocketTransport(args.coordinator)
@@ -532,8 +608,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     def progress(outcome: ScenarioOutcome) -> None:
         tag = "cached" if outcome.from_cache else (
             "ok" if outcome.ok else "FAILED")
-        print(f"[{worker.worker_id}] {outcome.scenario_name:<40} {tag} "
-              f"({outcome.wall_time:.1f}s)", flush=True)
+        logger.info("[%s] %-40s %s (%.1fs)", worker.worker_id,
+                    outcome.scenario_name, tag, outcome.wall_time)
 
     if args.cache_dir is None:
         cache_dir = ...  # not given: use the plan's cache_dir
@@ -544,12 +620,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         steal=not args.no_steal, on_outcome=progress,
         crash_after_claims=args.crash_after_claims,
         cache_dir=cache_dir, batch_size=args.batch_size)
-    print(f"[{worker.worker_id}] serving shard {worker.shard} of "
-          f"{worker.plan.shard_plan.num_shards} over {transport.kind} "
-          f"({len(worker.plan.specs)} scenarios total)", flush=True)
+    logger.info("[%s] serving shard %d of %d over %s (%d scenarios total)",
+                worker.worker_id, worker.shard,
+                worker.plan.shard_plan.num_shards, transport.kind,
+                len(worker.plan.specs))
     executed = worker.run(wait_for_stragglers=not args.no_wait)
-    print(f"[{worker.worker_id}] done: {executed} scenario(s) executed",
-          flush=True)
+    logger.info("[%s] done: %d scenario(s) executed", worker.worker_id,
+                executed)
     return 0
 
 

@@ -198,6 +198,10 @@ class EGP(Protocol):
         self.ok_listeners: list[Callable[[OkMessage], None]] = []
         self.error_listeners: list[Callable[[ErrorMessage], None]] = []
 
+        #: Optional :class:`repro.obs.Tracer`; ``None`` keeps every
+        #: emission a single ``is not None`` check (zero-cost default).
+        self.tracer = None
+
         self.statistics = {
             "creates_accepted": 0,
             "creates_rejected": 0,
@@ -289,6 +293,7 @@ class EGP(Protocol):
             # Nothing resident to serve: the poll would provably answer
             # "no", and any future add schedules its own poll
             # (``_on_queue_item_added``).
+            self._engine.note_elided(f"{self.name}.release_poll")
             return
         self.mhp.notify_work()
 
@@ -319,6 +324,10 @@ class EGP(Protocol):
 
     def _on_queue_item_added(self, item: QueueItem) -> None:
         cycle = self.mhp.current_cycle()
+        if self.tracer is not None:
+            self.tracer.event(self.now, f"{self.name}.enqueue",
+                              queue_id=list(item.queue_id),
+                              depth=self.dqp.total_length())
         self.scheduler.on_enqueue(item, cycle)
         if item.timeout_cycle is not None:
             timeout_time = self.mhp.cycle_start(item.timeout_cycle)
@@ -383,6 +392,8 @@ class EGP(Protocol):
                     self.mhp.notify_work(
                         not_before=self.mhp.cycle_start(int(watermark)) +
                         self.scenario.timing.mhp_cycle)
+                else:
+                    self._engine.note_elided(f"{self.name}.busy_poll")
                 return PollResponse.no_attempt()
             # Reference pattern: if items are merely waiting for their
             # schedule cycle, make sure the MHP polls again when the earliest
@@ -462,6 +473,8 @@ class EGP(Protocol):
         )
         self._inflight[cycle] = attempt
         self.statistics["attempts"] += 1
+        if self.tracer is not None:
+            self.tracer.counter(f"{self.name}.attempts")
 
         blocking = (request.request_type is RequestType.KEEP
                     or not self.emission_multiplexing)
@@ -469,6 +482,8 @@ class EGP(Protocol):
             self._blocking_cycle = cycle
             if not self.elide_watchdog:
                 attempt.watchdog = self._schedule_reply_watchdog(cycle, grant)
+            else:
+                self._engine.note_elided(f"{self.name}.reply_watchdog")
         if request.request_type is RequestType.KEEP:
             # Deterministic spacing of K attempts (t_attempt / r_attempt of
             # Section 4.4): both nodes derive the earliest next attempt from
@@ -848,11 +863,21 @@ class EGP(Protocol):
     # ------------------------------------------------------------------ #
     def _emit_ok(self, ok: OkMessage) -> None:
         self.statistics["oks_issued"] += 1
+        if self.tracer is not None:
+            # No create_id: it comes from a process-global counter, so it
+            # would break trace determinism across runs in one process.
+            self.tracer.event(self.now, f"{self.name}.ok",
+                              pair_index=ok.pair_index,
+                              goodness=ok.goodness,
+                              queue_depth=self.dqp.total_length())
         for listener in list(self.ok_listeners):
             listener(ok)
 
     def _emit_error(self, error: ErrorMessage) -> None:
         self.statistics["errors_issued"] += 1
+        if self.tracer is not None:
+            self.tracer.event(self.now, f"{self.name}.error",
+                              error=error.error.name)
         for listener in list(self.error_listeners):
             listener(error)
 

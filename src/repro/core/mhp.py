@@ -96,6 +96,9 @@ class NodeMHP(Protocol):
         self._attempt_window_cycle: Optional[int] = None
         self.attempts_triggered = 0
         self.replies_received = 0
+        #: Optional :class:`repro.obs.Tracer`; ``None`` keeps emission a
+        #: single ``is not None`` check (zero-cost default).
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -172,6 +175,9 @@ class NodeMHP(Protocol):
         poll_time = self.next_poll_time(not_before)
         if (self._next_poll_scheduled is not None
                 and self._next_poll_scheduled <= poll_time + 1e-15):
+            # An earlier (or equal) poll is already armed and will cover
+            # this wake-up: scheduling another would be pure churn.
+            self._engine.note_elided(f"{self.name}.dup_poll")
             return
         self._next_poll_scheduled = poll_time
         self._poll_timer.arm_at(poll_time)
@@ -191,6 +197,8 @@ class NodeMHP(Protocol):
         if response.queue_id is None:
             raise ValueError("EGP answered yes without an absolute queue id")
         self.attempts_triggered += 1
+        if self.tracer is not None:
+            self.tracer.counter(f"{self.name}.gen")
         cycle = self.current_cycle()
         batch = max(1, int(response.max_attempts))
         stride = max(1, int(response.attempt_stride))
@@ -213,6 +221,8 @@ class NodeMHP(Protocol):
         # polling in every branch (as does the reply watchdog on loss).
         if not response.skip_followup_poll:
             self.notify_work(self._attempt_window_end)
+        else:
+            self._engine.note_elided(f"{self.name}.followup_poll")
 
 
 @dataclass
@@ -292,6 +302,9 @@ class MidpointHeraldingService(Protocol):
             "queue_mismatches": 0,
             "unmatched": 0,
         }
+        #: Optional :class:`repro.obs.Tracer`; ``None`` keeps emission a
+        #: single ``is not None`` check (zero-cost default).
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -340,6 +353,9 @@ class MidpointHeraldingService(Protocol):
             return
         self.statistics["unmatched"] += 1
         frame = pending.frame
+        if self.tracer is not None:
+            self.tracer.event(self.now, f"{self.name}.cycle", cycle=cycle,
+                              outcome="unmatched", origin=frame.origin)
         reply = MHPReply(outcome=0, sequence=self._sequence,
                          queue_id=frame.queue_id, peer_queue_id=None,
                          error=MHPError.NO_MESSAGE_OTHER, cycle=cycle)
@@ -352,6 +368,9 @@ class MidpointHeraldingService(Protocol):
         cycle = frame_a.cycle
         if frame_a.queue_id != frame_b.queue_id:
             self.statistics["queue_mismatches"] += 1
+            if self.tracer is not None:
+                self.tracer.event(self.now, f"{self.name}.cycle", cycle=cycle,
+                                  outcome="queue_mismatch")
             for frame, peer in ((frame_a, frame_b), (frame_b, frame_a)):
                 reply = MHPReply(outcome=0, sequence=self._sequence,
                                  queue_id=frame.queue_id,
@@ -392,6 +411,12 @@ class MidpointHeraldingService(Protocol):
                                  heralded_bell=sample.bell_index,
                                  created_at=self.now + reply_emit_delay,
                                  midpoint_sequence=self._sequence)
+        if self.tracer is not None:
+            self.tracer.event(
+                self.now, f"{self.name}.cycle", cycle=cycle,
+                outcome="success" if sample.success else "fail",
+                attempts=attempts_used,
+                **({"sequence": self._sequence} if sample.success else {}))
         for frame, peer in ((frame_a, frame_b), (frame_b, frame_a)):
             reply = MHPReply(outcome=outcome_code, sequence=self._sequence,
                              queue_id=frame.queue_id,
@@ -409,6 +434,8 @@ class MidpointHeraldingService(Protocol):
         if self.timer_elision:
             # One event per delayed reply (delivery at delay + channel
             # delay) instead of an intermediate hand-over event per window.
+            if delay > 0:
+                self._engine.note_elided(self._batched_reply_name)
             channel.send_delayed(reply, delay)
         elif delay <= 0:
             channel.send(reply)

@@ -1,0 +1,56 @@
+"""Logging configuration for the ``repro.*`` logger hierarchy.
+
+Library modules log to ``logging.getLogger("repro.<area>")`` and never
+configure handlers themselves; CLIs call :func:`configure_logging` so
+their former ``print()`` messages keep appearing (as INFO) by default.
+
+Level resolution, highest priority first:
+
+1. ``--verbose`` CLI flag → DEBUG
+2. ``REPRO_LOG`` env var (a level name like ``debug``/``warning``)
+3. default → INFO (matches the old print() visibility)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure_logging"]
+
+#: Plain message format — the CLI output stays byte-identical to the
+#: print() calls it replaced; level/name prefixes appear only at DEBUG.
+_PLAIN_FORMAT = "%(message)s"
+_DEBUG_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+
+def configure_logging(verbose: bool = False,
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root logger (idempotent).
+
+    Returns the configured ``repro`` logger.  Calling it twice replaces
+    the previous handler rather than stacking duplicates.
+    """
+    if verbose:
+        level = logging.DEBUG
+    else:
+        env = os.environ.get("REPRO_LOG", "").strip().upper()
+        level = getattr(logging, env, None) if env else None
+        if not isinstance(level, int):
+            level = logging.INFO
+
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    fmt = _DEBUG_FORMAT if level <= logging.DEBUG else _PLAIN_FORMAT
+    handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,213 @@
+"""Metrics registry: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a small in-process store with labelled
+counters/gauges/histograms that serializes to JSON (for merging across
+runs, shards, and sweeps) and to the Prometheus text exposition format
+(for scraping / human inspection).
+
+Aggregation model: each layer owns one registry — per-run metrics roll
+into the sweep runner's registry, each cluster worker ships its
+registry to the coordinator over the ``telemetry`` transport op, and
+the coordinator merges the per-shard registries into the sweep summary.
+``merge`` sums counters, keeps the last-written gauge, and adds
+histograms bucket-wise, so merging is associative and idempotent per
+worker snapshot (last write wins at the transport layer).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["MetricsRegistry", "HISTOGRAM_BUCKETS"]
+
+#: Default histogram bucket upper bounds (seconds-ish scale; +Inf implied).
+HISTOGRAM_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+_SeriesKey = Tuple[str, _LabelKey]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _series_key(name: str, labels: Dict[str, str]) -> _SeriesKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(labels: _LabelKey, extra: Iterable[Tuple[str, str]] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join('%s="%s"' % (k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+                    for k, v in pairs)
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Labelled counters, gauges, and fixed-bucket histograms.
+
+    ``base_labels`` are attached to every series the registry records
+    (e.g. ``{"worker": "w1", "shard": "2"}``) — merged registries stay
+    distinguishable per shard while still summing cleanly in Prometheus
+    queries.
+    """
+
+    def __init__(self, base_labels: Optional[Dict[str, str]] = None) -> None:
+        self.base_labels: Dict[str, str] = dict(base_labels or {})
+        self._counters: Dict[_SeriesKey, float] = {}
+        self._gauges: Dict[_SeriesKey, float] = {}
+        # name -> {"count", "sum", "min", "max", "buckets": [..]} per series
+        self._histograms: Dict[_SeriesKey, dict] = {}
+
+    # -- recording ------------------------------------------------------
+    def counter(self, name: str, value: float = 1, **labels: str) -> None:
+        key = _series_key(name, {**self.base_labels, **labels})
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        key = _series_key(name, {**self.base_labels, **labels})
+        self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one histogram observation."""
+        key = _series_key(name, {**self.base_labels, **labels})
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = {"count": 0, "sum": 0.0, "min": value, "max": value,
+                    "buckets": [0] * (len(HISTOGRAM_BUCKETS) + 1)}
+            self._histograms[key] = hist
+        hist["count"] += 1
+        hist["sum"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+        for i, bound in enumerate(HISTOGRAM_BUCKETS):
+            if value <= bound:
+                hist["buckets"][i] += 1
+                break
+        else:
+            hist["buckets"][-1] += 1
+
+    # -- serialization --------------------------------------------------
+    @staticmethod
+    def _dump_series(series: dict) -> list:
+        return [{"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(series.items())]
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro-metrics/v1",
+            "base_labels": dict(self.base_labels),
+            "counters": self._dump_series(self._counters),
+            "gauges": self._dump_series(self._gauges),
+            "histograms": [
+                {"name": name, "labels": dict(labels), **value}
+                for (name, labels), value in sorted(self._histograms.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        registry = cls(payload.get("base_labels") or {})
+        for entry in payload.get("counters", ()):
+            key = _series_key(entry["name"], entry.get("labels") or {})
+            registry._counters[key] = entry["value"]
+        for entry in payload.get("gauges", ()):
+            key = _series_key(entry["name"], entry.get("labels") or {})
+            registry._gauges[key] = entry["value"]
+        for entry in payload.get("histograms", ()):
+            key = _series_key(entry["name"], entry.get("labels") or {})
+            registry._histograms[key] = {
+                "count": entry["count"], "sum": entry["sum"],
+                "min": entry["min"], "max": entry["max"],
+                "buckets": list(entry["buckets"]),
+            }
+        return registry
+
+    def merge(self, other: "MetricsRegistry | dict") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (sums counters, adds
+        histograms bucket-wise, last gauge wins).  Returns ``self``."""
+        if isinstance(other, dict):
+            other = MetricsRegistry.from_dict(other)
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in other._gauges.items():
+            self._gauges[key] = value
+        for key, hist in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                self._histograms[key] = {
+                    "count": hist["count"], "sum": hist["sum"],
+                    "min": hist["min"], "max": hist["max"],
+                    "buckets": list(hist["buckets"]),
+                }
+            else:
+                mine["count"] += hist["count"]
+                mine["sum"] += hist["sum"]
+                mine["min"] = min(mine["min"], hist["min"])
+                mine["max"] = max(mine["max"], hist["max"])
+                mine["buckets"] = [a + b for a, b in
+                                   zip(mine["buckets"], hist["buckets"])]
+        return self
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (0.0.4) of every series."""
+        lines = []
+        seen_types = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (name, labels), value in sorted(self._counters.items()):
+            metric = _NAME_RE.sub("_", name)
+            type_line(metric, "counter")
+            lines.append(f"{metric}{_format_labels(labels)} {value:g}")
+        for (name, labels), value in sorted(self._gauges.items()):
+            metric = _NAME_RE.sub("_", name)
+            type_line(metric, "gauge")
+            lines.append(f"{metric}{_format_labels(labels)} {value:g}")
+        for (name, labels), hist in sorted(self._histograms.items()):
+            metric = _NAME_RE.sub("_", name)
+            type_line(metric, "histogram")
+            cumulative = 0
+            for bound, count in zip(HISTOGRAM_BUCKETS, hist["buckets"]):
+                cumulative += count
+                lines.append(f"{metric}_bucket"
+                             f"{_format_labels(labels, [('le', '%g' % bound)])}"
+                             f" {cumulative}")
+            cumulative += hist["buckets"][-1]
+            lines.append(f"{metric}_bucket"
+                         f"{_format_labels(labels, [('le', '+Inf')])}"
+                         f" {cumulative}")
+            lines.append(f"{metric}_sum{_format_labels(labels)} {hist['sum']:g}")
+            lines.append(f"{metric}_count{_format_labels(labels)} {hist['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    # -- inspection helpers (tests, report CLI) -------------------------
+    def counter_value(self, name: str, **labels: str) -> float:
+        return self._counters.get(
+            _series_key(name, {**self.base_labels, **labels}), 0)
+
+    def gauge_value(self, name: str, **labels: str) -> Optional[float]:
+        return self._gauges.get(
+            _series_key(name, {**self.base_labels, **labels}))
+
+    def series(self) -> list:
+        """Flat ``(kind, name, labels, value)`` view for reporting."""
+        rows = []
+        for (name, labels), value in sorted(self._counters.items()):
+            rows.append(("counter", name, dict(labels), value))
+        for (name, labels), value in sorted(self._gauges.items()):
+            rows.append(("gauge", name, dict(labels), value))
+        for (name, labels), hist in sorted(self._histograms.items()):
+            rows.append(("histogram", name, dict(labels), dict(hist)))
+        return rows

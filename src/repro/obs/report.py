@@ -1,0 +1,214 @@
+"""Render ``repro.obs`` artifacts as a human-readable report.
+
+Usage::
+
+    python -m repro.obs.report PATH [--top N] [--width W]
+
+``PATH`` may be:
+
+- an observability output directory (``REPRO_OBS_DIR``) — every run
+  subdirectory found is rendered;
+- a single run directory containing ``trace.jsonl`` / ``metrics.json``
+  / ``profile.collapsed``;
+- one of those files directly;
+- a merged sweep/cluster result JSON carrying a ``telemetry`` section
+  (as produced by a cluster sweep with ``REPRO_OBS=...,metrics``).
+
+For traces the report shows the top-N event kinds by executed count,
+elision/cancellation accounting, aggregate counters, and an ASCII
+timeline of the recorded protocol events bucketed over sim-time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import read_jsonl
+
+__all__ = ["main", "render_trace", "render_metrics", "render_profile"]
+
+
+def _bar(count: int, peak: int, width: int) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1 if count else 0, round(count / peak * width))
+
+
+def render_trace(path: Path, top: int = 15, width: int = 50,
+                 out=None) -> None:
+    out = out if out is not None else sys.stdout
+    records, summary = read_jsonl(path)
+    out.write(f"== trace: {path} ==\n")
+    if summary:
+        executed: Dict[str, int] = summary.get("executed", {})
+        elided: Dict[str, int] = summary.get("elided", {})
+        cancelled: Dict[str, int] = summary.get("cancelled", {})
+        total = sum(executed.values())
+        out.write(f"executed events: {total}  "
+                  f"(elided: {sum(elided.values())}, "
+                  f"cancelled: {sum(cancelled.values())})\n")
+        ranked = sorted(executed.items(), key=lambda kv: (-kv[1], kv[0]))
+        if ranked:
+            out.write(f"top {min(top, len(ranked))} event kinds by executed count:\n")
+            peak = ranked[0][1]
+            for name, count in ranked[:top]:
+                extra = ""
+                if name in elided:
+                    extra = f"  (+{elided[name]} elided)"
+                out.write(f"  {count:>10}  {name:<40} "
+                          f"{_bar(count, peak, width // 2)}{extra}\n")
+        counters = summary.get("counters", {})
+        if counters:
+            out.write("counters:\n")
+            for name, value in sorted(counters.items(),
+                                      key=lambda kv: (-kv[1], kv[0]))[:top]:
+                out.write(f"  {value:>10g}  {name}\n")
+    if records:
+        times = [r["t"] for r in records]
+        t0, t1 = min(times), max(times)
+        span = (t1 - t0) or 1.0
+        buckets = [0] * width
+        for t in times:
+            index = min(width - 1, int((t - t0) / span * width))
+            buckets[index] += 1
+        peak = max(buckets)
+        out.write(f"timeline: {len(records)} protocol records over "
+                  f"[{t0:.6f}s, {t1:.6f}s] sim-time "
+                  f"({span / width:.6f}s/bucket, peak {peak})\n")
+        for index, count in enumerate(buckets):
+            t = t0 + index * span / width
+            out.write(f"  {t:>12.6f}s |{_bar(count, peak, width):<{width}}| "
+                      f"{count}\n")
+        by_name: Dict[str, int] = {}
+        for record in records:
+            by_name[record["name"]] = by_name.get(record["name"], 0) + 1
+        out.write("record kinds:\n")
+        for name, count in sorted(by_name.items(), key=lambda kv: (-kv[1], kv[0]))[:top]:
+            out.write(f"  {count:>10}  {name}\n")
+
+
+def render_metrics(payload: dict, top: int = 15, out=None,
+                   title: str = "metrics") -> None:
+    out = out if out is not None else sys.stdout
+    registry = MetricsRegistry.from_dict(payload)
+    out.write(f"== {title} ==\n")
+    rows = registry.series()
+    if not rows:
+        out.write("  (empty)\n")
+        return
+    for kind, name, labels, value in rows:
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        if kind == "histogram":
+            mean = value["sum"] / value["count"] if value["count"] else 0.0
+            out.write(f"  {kind:<9} {name}{{{label_text}}} "
+                      f"count={value['count']} mean={mean:.6g} "
+                      f"min={value['min']:.6g} max={value['max']:.6g}\n")
+        else:
+            out.write(f"  {kind:<9} {name}{{{label_text}}} {value:g}\n")
+
+
+def render_profile(path: Path, top: int = 15, out=None) -> None:
+    out = out if out is not None else sys.stdout
+    lines = path.read_text(encoding="utf-8").splitlines()
+    parsed = []
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        if stack and count.isdigit():
+            parsed.append((int(count), stack))
+    total = sum(count for count, _ in parsed)
+    out.write(f"== profile: {path} ({total} samples) ==\n")
+    for count, stack in sorted(parsed, reverse=True)[:top]:
+        leaf = stack.rsplit(";", 1)[-1]
+        share = count / total * 100 if total else 0.0
+        out.write(f"  {count:>8} ({share:5.1f}%)  {leaf}   [{stack[-120:]}]\n")
+
+
+def _render_run_dir(run_dir: Path, top: int, width: int, out) -> bool:
+    rendered = False
+    trace = run_dir / "trace.jsonl"
+    if trace.exists():
+        render_trace(trace, top=top, width=width, out=out)
+        rendered = True
+    metrics = run_dir / "metrics.json"
+    if metrics.exists():
+        render_metrics(json.loads(metrics.read_text(encoding="utf-8")),
+                       top=top, out=out, title=f"metrics: {metrics}")
+        rendered = True
+    profile = run_dir / "profile.collapsed"
+    if profile.exists():
+        render_profile(profile, top=top, out=out)
+        rendered = True
+    return rendered
+
+
+def render_path(path: Path, top: int = 15, width: int = 50,
+                out=None) -> bool:
+    """Render whatever artifact(s) live at ``path``; True if any found."""
+    out = out if out is not None else sys.stdout
+    if path.is_file():
+        if path.suffix == ".jsonl":
+            render_trace(path, top=top, width=width, out=out)
+            return True
+        if path.name.endswith(".collapsed"):
+            render_profile(path, top=top, out=out)
+            return True
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("format") == "repro-metrics/v1":
+            render_metrics(payload, top=top, out=out, title=f"metrics: {path}")
+            return True
+        telemetry = payload.get("telemetry")
+        if telemetry:
+            render_metrics(telemetry, top=top, out=out,
+                           title=f"sweep telemetry: {path}")
+            return True
+        return False
+    if path.is_dir():
+        if _render_run_dir(path, top, width, out):
+            return True
+        rendered = False
+        for child in sorted(path.iterdir()):
+            if child.is_dir():
+                out.write(f"\n-- run: {child.name} --\n")
+                rendered = _render_run_dir(child, top, width, out) or rendered
+        return rendered
+    return False
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render repro.obs trace/metrics/profile artifacts.")
+    parser.add_argument("path", help="obs directory, run directory, "
+                        "trace.jsonl, metrics.json, profile.collapsed, or a "
+                        "merged sweep JSON with a telemetry section")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows per top-N table (default 15)")
+    parser.add_argument("--width", type=int, default=50,
+                        help="timeline width in buckets (default 50)")
+    args = parser.parse_args(argv)
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"no such path: {path}", file=sys.stderr)
+        return 1
+    if not render_path(path, top=args.top, width=args.width):
+        print(f"no repro.obs artifacts found under {path}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        status = main()
+    except BrokenPipeError:
+        # Downstream (e.g. ``| head``) closed the pipe; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        status = 0
+    raise SystemExit(status)

@@ -215,6 +215,11 @@ def execute_cohort(payloads: Sequence[tuple[int, ScenarioSpec, int, float]],
     for (index, spec, seed, duration), result, error in zip(
             payloads, results, errors):
         if result is not None:
+            if result.obs is not None:
+                # Same artifact layout as the solo path, so solo vs cohort
+                # traces of a (spec, seed) pair land in the same place and
+                # can be diffed byte for byte.
+                result.obs.write_artifacts(f"{spec.name}-seed{seed}")
             outcome = ScenarioOutcome(
                 scenario_name=spec.name,
                 scheduler_name=result.scheduler_name,
@@ -225,6 +230,7 @@ def execute_cohort(payloads: Sequence[tuple[int, ScenarioSpec, int, float]],
                 requests_issued=result.requests_issued,
                 backend=result.backend,
                 events_processed=result.events_processed,
+                events_elided=result.events_elided,
                 engine=result.engine,
                 wall_time=member_wall,
                 cohort=cohort,

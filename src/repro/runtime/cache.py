@@ -40,7 +40,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
 #: ``None`` for single-link scenarios) so a topology redefinition under an
 #: unchanged scenario name is found and reported, and outcomes carry the
 #: per-hop / end-to-end fields of topology runs.
-CACHE_VERSION = 6
+#: v7: outcomes record ``events_elided`` (events skipped outright by
+#: outcome-preserving timer elision) alongside ``events_processed`` —
+#: provenance like the engine field, but old entries would silently
+#: report 0, so the version forces a recompute.
+CACHE_VERSION = 7
 
 #: Canonical filename of the persisted scenario cost model (see
 #: :class:`repro.cluster.planner.RecordedCostModel`): it lives next to the

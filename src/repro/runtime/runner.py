@@ -40,6 +40,12 @@ class RunResult:
     #: benchmarks use to compare runs across machines.  Identical across
     #: event engines (the equivalence suite pins this).
     events_processed: int = 0
+    #: Events never scheduled thanks to outcome-preserving timer elision
+    #: (PR 5/7): skipped watchdogs, no-op busy polls, collapsed reply
+    #: hand-overs.  Provenance alongside ``events_processed`` — makes the
+    #: elision wins visible in sweep output without being part of the
+    #: result identity.
+    events_elided: int = field(default=0, compare=False)
     #: Per-link (hop) delivery digests for multi-link topology runs
     #: (``repro.topology``): one plain-data dict per link — pairs,
     #: throughput, fidelity, latency, errors.  ``None`` for single-link runs.
@@ -55,10 +61,14 @@ class RunResult:
                                                 compare=False)
     network: Optional[LinkLayerNetwork] = field(default=None, repr=False,
                                                 compare=False)
+    #: Live observability session (``repro.obs.ObsSession``) of the run,
+    #: when ``REPRO_OBS`` enabled one — in-process only, like ``metrics``/
+    #: ``network``: the sweep layer writes its artifacts and drops it.
+    obs: Optional[object] = field(default=None, repr=False, compare=False)
 
     def detached(self) -> "RunResult":
         """A copy without the live simulation handles (picklable payload)."""
-        return replace(self, metrics=None, network=None)
+        return replace(self, metrics=None, network=None, obs=None)
 
     def __getstate__(self) -> dict:
         # Never ship the live network/collector across processes: they hold
@@ -66,6 +76,7 @@ class RunResult:
         state = self.__dict__.copy()
         state["metrics"] = None
         state["network"] = None
+        state["obs"] = None
         return state
 
 
@@ -105,7 +116,8 @@ class SimulationRun:
                  backend=None,
                  engine=None,
                  elide_watchdog: Optional[bool] = None,
-                 timer_elision: bool = True) -> None:
+                 timer_elision: bool = True,
+                 obs="env") -> None:
         self.scenario = scenario
         self.seed = seed
         self.network = LinkLayerNetwork(scenario, scheduler=scheduler,
@@ -123,6 +135,18 @@ class SimulationRun:
                                           seed=workload_seed)
         self._scheduler_name = (scheduler if isinstance(scheduler, str)
                                 else scheduler.name)
+        # Observability: an ``ObsSession`` instance, ``None`` to disable,
+        # or the default ``"env"`` to resolve from ``REPRO_OBS`` (which is
+        # unset in production — the zero-cost default).  Attaching only
+        # sets tracer attributes; it never mutates simulation state.
+        if obs == "env":
+            from repro.obs import session_from_env
+
+            obs = session_from_env()
+        self.obs = obs
+        if self.obs is not None:
+            self.obs.attach_link_network(self.network)
+            self.obs.start_profiler()
 
     def run(self, duration: float) -> RunResult:
         """Run the simulation for ``duration`` simulated seconds."""
@@ -144,7 +168,7 @@ class SimulationRun:
 
     def finalize(self, duration: float) -> RunResult:
         """Collect the result after the run has reached ``duration``."""
-        return RunResult(
+        result = RunResult(
             scenario_name=self.scenario.name,
             scheduler_name=self._scheduler_name,
             simulated_time=duration,
@@ -154,9 +178,14 @@ class SimulationRun:
             backend=self.network.backend.name,
             engine=self.network.engine.queue_name,
             events_processed=self.network.engine.processed_events,
+            events_elided=self.network.engine.elided_events,
             metrics=self.metrics,
             network=self.network,
+            obs=self.obs,
         )
+        if self.obs is not None:
+            self.obs.finish_run(result)
+        return result
 
 
 def run_scenario(scenario: ScenarioConfig, workload: Sequence[WorkloadSpec],

@@ -124,6 +124,12 @@ class ScenarioOutcome:
     #: serial-vs-sharded equivalence tests down to the event count.  The
     #: event *engine* does not change it (engines are trace-equivalent).
     events_processed: int = 0
+    #: Events never scheduled thanks to outcome-preserving timer elision
+    #: (PR 5/7) — makes the elision wins visible in sweep output.
+    #: Deterministic for a given (scenario, seed, backend) and identical
+    #: across engines, but provenance rather than result identity, so it
+    #: is excluded from comparison (old cache entries lack it).
+    events_elided: int = field(default=0, compare=False)
     #: Resolved event-engine (queue implementation) the scenario ran on.
     #: Engines are event-for-event equivalent, so this is provenance —
     #: excluded from comparison so a heap sweep and a calendar sweep of the
@@ -174,6 +180,7 @@ class ScenarioOutcome:
             error=data.get("error"),
             backend=data.get("backend", "density"),
             events_processed=data.get("events_processed", 0),
+            events_elided=data.get("events_elided", 0),
             engine=data.get("engine", "heap"),
             wall_time=data.get("wall_time", 0.0),
             from_cache=data.get("from_cache", False),
@@ -191,6 +198,13 @@ class SweepResult:
     master_seed: Optional[int]
     duration: float
     outcomes: list[ScenarioOutcome]
+    #: Merged observability metrics of the sweep (a
+    #: ``repro.obs.MetricsRegistry`` ``to_dict`` payload) when the sweep
+    #: ran with ``REPRO_OBS=...,metrics`` — per-run rollups locally, the
+    #: merged per-shard worker registries for a cluster sweep.  ``None``
+    #: (and omitted from JSON) when observability is off, keeping the
+    #: serialized form bit-identical to pre-observability output.
+    telemetry: Optional[dict] = field(default=None, compare=False)
 
     @property
     def completed(self) -> list[ScenarioOutcome]:
@@ -209,12 +223,15 @@ class SweepResult:
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation of the whole sweep."""
-        return {
+        data = {
             "version": CACHE_VERSION,
             "master_seed": self.master_seed,
             "duration": self.duration,
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepResult":
@@ -222,7 +239,8 @@ class SweepResult:
         return cls(master_seed=data["master_seed"],
                    duration=data["duration"],
                    outcomes=[ScenarioOutcome.from_dict(entry)
-                             for entry in data["outcomes"]])
+                             for entry in data["outcomes"]],
+                   telemetry=data.get("telemetry"))
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialise to a JSON string (exact float round-trip)."""
@@ -255,6 +273,11 @@ def execute_scenario(spec: ScenarioSpec, seed: int,
     started = time.perf_counter()
     try:
         result = spec.run(duration, seed=seed)
+        if result.obs is not None:
+            # Observability artifacts (trace/metrics/profile) go to
+            # REPRO_OBS_DIR/<scenario>-seed<seed>/ — the outcome payload
+            # itself stays identical to an uninstrumented run.
+            result.obs.write_artifacts(f"{spec.name}-seed{seed}")
         return ScenarioOutcome(
             scenario_name=spec.name,
             scheduler_name=result.scheduler_name,
@@ -265,6 +288,7 @@ def execute_scenario(spec: ScenarioSpec, seed: int,
             requests_issued=result.requests_issued,
             backend=result.backend,
             events_processed=result.events_processed,
+            events_elided=result.events_elided,
             engine=result.engine,
             wall_time=time.perf_counter() - started,
             hops=result.hops,
@@ -381,6 +405,9 @@ class SweepRunner:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
         self.start_method = start_method
+        #: Sweep-level ``repro.obs.MetricsRegistry`` of the most recent
+        #: :meth:`run`, when ``REPRO_OBS`` enabled metrics (else ``None``).
+        self.metrics_registry = None
 
     # ------------------------------------------------------------------ #
     # Seeds and cache keys
@@ -431,6 +458,36 @@ class SweepRunner:
     def run(self) -> SweepResult:
         """Run the sweep and return outcomes in scenario order."""
         self._cache_report = CacheReport()
+        # Sweep-level metrics when REPRO_OBS enables them (None otherwise:
+        # the loop below then only pays one ``is not None`` per outcome).
+        from repro.obs import config_from_env
+
+        obs_config = config_from_env()
+        registry = None
+        if obs_config is not None and obs_config.metrics:
+            from repro.obs import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.metrics_registry = registry
+
+        def observe(outcome: ScenarioOutcome) -> None:
+            registry.counter("repro_sweep_scenarios_total",
+                             status=outcome.status)
+            if outcome.from_cache:
+                registry.counter("repro_sweep_cache_hits_total")
+            else:
+                # Cached outcomes report the original run's wall time;
+                # only fresh executions feed the wall-clock histogram.
+                registry.observe("repro_sweep_scenario_wall_seconds",
+                                 outcome.wall_time)
+            registry.counter("repro_sweep_events_processed_total",
+                             outcome.events_processed)
+            registry.counter("repro_sweep_events_elided_total",
+                             outcome.events_elided)
+            if outcome.cohort:
+                registry.observe("repro_sweep_cohort_occupancy",
+                                 outcome.cohort)
+
         seeds = self.scenario_seeds()
         outcomes: list[Optional[ScenarioOutcome]] = [None] * len(self.scenarios)
         pending: list[tuple[int, ScenarioSpec, int, float]] = []
@@ -438,6 +495,8 @@ class SweepRunner:
             cached = self._load_cached(spec, seed)
             if cached is not None:
                 outcomes[index] = cached
+                if registry is not None:
+                    observe(cached)
                 if self.on_outcome is not None:
                     self.on_outcome(cached)
             else:
@@ -446,6 +505,8 @@ class SweepRunner:
         def record(index: int, outcome: ScenarioOutcome) -> None:
             outcomes[index] = outcome
             self._store_cached(self.scenarios[index], outcome)
+            if registry is not None:
+                observe(outcome)
             if self.on_outcome is not None:
                 self.on_outcome(outcome)
 
@@ -464,9 +525,20 @@ class SweepRunner:
                             record(index, outcome)
 
         assert all(outcome is not None for outcome in outcomes)
+        telemetry = None
+        if registry is not None:
+            telemetry = registry.to_dict()
+            if obs_config.out_dir is not None:
+                out_dir = Path(obs_config.out_dir)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / "sweep_metrics.json").write_text(
+                    registry.to_json(indent=2) + "\n", encoding="utf-8")
+                (out_dir / "sweep_metrics.prom").write_text(
+                    registry.to_prometheus(), encoding="utf-8")
         return SweepResult(master_seed=self.master_seed,
                            duration=self.duration,
-                           outcomes=list(outcomes))
+                           outcomes=list(outcomes),
+                           telemetry=telemetry)
 
     def _build_tasks(self, pending: list[tuple[int, ScenarioSpec, int, float]],
                      ) -> list[tuple]:

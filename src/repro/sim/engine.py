@@ -75,6 +75,8 @@ class PeriodicHandle:
         self._event = Event(start, next(engine._counter), self._fire, (),
                             name, engine)
         engine._queue.push(self._event)
+        if engine.tracer is not None:
+            engine.tracer.on_scheduled(name)
 
     def _fire(self) -> None:
         self._user_callback()
@@ -85,6 +87,8 @@ class PeriodicHandle:
         event.time += self.interval
         event.sequence = next(engine._counter)
         engine._queue.push(event)
+        if engine.tracer is not None:
+            engine.tracer.on_scheduled(event.name)
 
     @property
     def active(self) -> bool:
@@ -141,12 +145,16 @@ class ReusableTimer:
             event.args = args
             event.cancelled = False
             engine._queue.push(event)
+            if engine.tracer is not None:
+                engine.tracer.on_scheduled(event.name)
             return event
         event = Event(float(time), next(engine._counter), self._callback,
                       args, self._name, engine)
         engine._queue.push(event)
         self._event = event
         self._epoch = engine._epoch
+        if engine.tracer is not None:
+            engine.tracer.on_scheduled(self._name)
         return event
 
     def arm_after(self, delay: float, args: tuple = ()) -> EventHandle:
@@ -201,6 +209,12 @@ class SimulationEngine:
         self._counter = itertools.count()
         self._running = False
         self._processed = 0
+        #: Events whose scheduling was skipped outright by an
+        #: outcome-preserving elision (PR 5/7): watchdogs that provably
+        #: cannot fire, no-op busy polls, collapsed reply hand-overs.  A
+        #: bare int so the accounting is always on; per-kind detail goes
+        #: to the tracer when one is attached.
+        self._elided = 0
         #: Bumped by :meth:`reset`; reusable/periodic timers from an older
         #: epoch refuse to re-arm their stale event objects.
         self._epoch = 0
@@ -208,6 +222,10 @@ class SimulationEngine:
         #: event appends ``(time, sequence, name)``.  The engine-equivalence
         #: tests pin these traces across queue implementations.
         self.trace: Optional[list] = None
+        #: Optional :class:`repro.obs.Tracer`.  ``None`` (the default)
+        #: keeps every instrumentation site a single ``is not None``
+        #: check — the same zero-cost pattern as :attr:`trace`.
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -229,6 +247,17 @@ class SimulationEngine:
         """Number of events executed so far."""
         return self._processed
 
+    @property
+    def elided_events(self) -> int:
+        """Number of events never scheduled thanks to timer elision."""
+        return self._elided
+
+    def note_elided(self, name: str = "") -> None:
+        """Record that an event was elided (skipped outcome-preservingly)."""
+        self._elided += 1
+        if self.tracer is not None:
+            self.tracer.on_elided(name)
+
     def schedule_at(self, time: float, callback: Callable[..., None],
                     name: str = "", args: tuple = ()) -> EventHandle:
         """Schedule ``callback(*args)`` to run at absolute time ``time``.
@@ -242,6 +271,8 @@ class SimulationEngine:
         event = Event(float(time), next(self._counter), callback, args,
                       name, self)
         self._queue.push(event)
+        if self.tracer is not None:
+            self.tracer.on_scheduled(name)
         return event
 
     def schedule_after(self, delay: float, callback: Callable[..., None],
@@ -293,6 +324,8 @@ class SimulationEngine:
         self._now = event.time
         if self.trace is not None:
             self.trace.append((event.time, event.sequence, event.name))
+        if self.tracer is not None:
+            self.tracer.on_executed(event.name)
         event.callback(*event.args)
         self._processed += 1
         return True
@@ -321,6 +354,7 @@ class SimulationEngine:
         self._running = True
         queue = self._queue
         trace = self.trace
+        tracer = self.tracer
         executed = 0
         try:
             while max_events is None or executed < max_events:
@@ -334,6 +368,8 @@ class SimulationEngine:
                 self._now = event.time
                 if trace is not None:
                     trace.append((event.time, event.sequence, event.name))
+                if tracer is not None:
+                    tracer.on_executed(event.name)
                 event.callback(*event.args)
                 self._processed += 1
                 executed += 1
@@ -345,6 +381,8 @@ class SimulationEngine:
         """Forward a cancellation to the queue's accounting (compaction is
         the queue's business — bucket-local where the structure allows)."""
         self._queue.note_cancelled(event)
+        if self.tracer is not None:
+            self.tracer.on_cancelled(event.name)
 
     def reset(self, start_time: float = 0.0) -> None:
         """Clear the queue and reset the clock.  Mostly useful in tests.
@@ -358,4 +396,5 @@ class SimulationEngine:
         self._now = float(start_time)
         self._counter = itertools.count()
         self._processed = 0
+        self._elided = 0
         self._epoch += 1

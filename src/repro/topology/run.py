@@ -98,7 +98,8 @@ class TopologyRun:
                  engine=None,
                  elide_watchdog: Optional[bool] = None,
                  timer_elision: bool = True,
-                 swap_gate_fidelity: float = 1.0) -> None:
+                 swap_gate_fidelity: float = 1.0,
+                 obs="env") -> None:
         workload = list(workload)
         if topology.kind == "chain":
             for spec in workload:
@@ -132,6 +133,16 @@ class TopologyRun:
                                  seed=workload_seed))
         self._scheduler_name = (scheduler if isinstance(scheduler, str)
                                 else scheduler.name)
+        # Observability: mirrors SimulationRun — an ObsSession instance,
+        # None to disable, or "env" to resolve from REPRO_OBS.
+        if obs == "env":
+            from repro.obs import session_from_env
+
+            obs = session_from_env()
+        self.obs = obs
+        if self.obs is not None:
+            self.obs.attach_topology_network(self.network)
+            self.obs.start_profiler()
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -167,7 +178,7 @@ class TopologyRun:
         else:
             end_to_end = self._star_end_to_end(duration, hops)
             summary = self._star_summary(duration, link_summaries)
-        return RunResult(
+        result = RunResult(
             scenario_name=self.topology.name,
             scheduler_name=self._scheduler_name,
             simulated_time=duration,
@@ -178,11 +189,16 @@ class TopologyRun:
             backend=self.network.backend.name,
             engine=self.network.engine.queue_name,
             events_processed=self.network.engine.processed_events,
+            events_elided=self.network.engine.elided_events,
             hops=hops,
             end_to_end=end_to_end,
             topology=self.topology.name,
             network=self.network,
+            obs=self.obs,
         )
+        if self.obs is not None:
+            self.obs.finish_run(result)
+        return result
 
     def _chain_end_to_end(self, duration: float) -> dict:
         records = self.network.swap.end_to_end

@@ -136,6 +136,9 @@ class SwapAsapEGP:
         self.engine = links[0].network.engine
         self.end_to_end: list[EndToEndRecord] = []
         self.statistics = {"swaps": 0, "segments": 0, "pairs_delivered": 0}
+        #: Optional :class:`repro.obs.Tracer`; ``None`` keeps emission a
+        #: single ``is not None`` check (zero-cost default).
+        self.tracer = None
         self._interior = set(topology.interior_nodes())
         self._end_left = topology.nodes[0]
         self._end_right = topology.nodes[-1]
@@ -191,6 +194,9 @@ class SwapAsapEGP:
             hops=[{"link": link.spec.name, "fidelity": fidelity,
                    "latency": now - created_at}])
         self.statistics["segments"] += 1
+        if self.tracer is not None:
+            self.tracer.event(now, "swap.segment", link=link.spec.name,
+                              fidelity=fidelity, latency=now - created_at)
         self._add_segment(segment)
 
     # ------------------------------------------------------------------ #
@@ -252,6 +258,12 @@ class SwapAsapEGP:
         left.right.release()
         right.left.release()
         self.statistics["swaps"] += 1
+        if self.tracer is not None:
+            # Swap provenance: where the BSM happened, which span it merged,
+            # and the measurement outcome (enough to replay the correction).
+            self.tracer.event(now, "swap.swap", node=node,
+                              left=left.left.node, right=right.right.node,
+                              outcome=[int(bit) for bit in outcome])
         merged_pair = EntangledPair(state=state,
                                     heralded_bell=BellIndex.PSI_PLUS,
                                     created_at=now, corrected=True)
@@ -277,5 +289,9 @@ class SwapAsapEGP:
             swap_events=segment.swap_events)
         self.end_to_end.append(record)
         self.statistics["pairs_delivered"] += 1
+        if self.tracer is not None:
+            self.tracer.event(now, "swap.deliver",
+                              fidelity=record.fidelity,
+                              latency=record.latency, swaps=record.swaps)
         segment.left.release()
         segment.right.release()
