@@ -43,6 +43,7 @@ from repro.cluster.faults import (
     FaultyTransport,
     InjectedFault,
     InjectedWorkerCrash,
+    ScenarioFaultPlan,
 )
 from repro.cluster.planner import (
     CostModel,
@@ -70,6 +71,8 @@ from repro.cluster.sinks import (
 )
 from repro.cluster.transport import (
     FilesystemTransport,
+    FrameDecodeError,
+    FrameTooLarge,
     SocketTransport,
     TaskSnapshot,
     Transport,
@@ -88,6 +91,8 @@ __all__ = [
     "FaultSchedule",
     "FaultyTransport",
     "FilesystemTransport",
+    "FrameDecodeError",
+    "FrameTooLarge",
     "InjectedFault",
     "InjectedWorkerCrash",
     "JsonResultSink",
@@ -99,6 +104,7 @@ __all__ = [
     "SINK_KINDS",
     "ScaleAdvice",
     "ScalePolicy",
+    "ScenarioFaultPlan",
     "ShardPlan",
     "SocketTransport",
     "StaticCostModel",

@@ -103,10 +103,22 @@ class ClusterPlan:
     #: absorbs before declaring a lease stale (filesystem transport: lease
     #: mtimes are written by one machine's clock and read by another's).
     clock_skew_tolerance: float = 5.0
+    #: Serialised :class:`repro.runtime.guard.GuardPolicy` every worker
+    #: executes under (``None`` disables supervision — workers then behave
+    #: exactly like the pre-guard protocol).
+    guard: Optional[dict] = None
+
+    def guard_policy(self):
+        """The parsed :class:`~repro.runtime.guard.GuardPolicy`, or ``None``."""
+        if self.guard is None:
+            return None
+        from repro.runtime.guard import GuardPolicy
+
+        return GuardPolicy.from_dict(self.guard)
 
     def to_dict(self) -> dict:
         """JSON-serialisable plan document."""
-        return {
+        document = {
             "format": "cluster-plan/v1",
             "cache_version": CACHE_VERSION,
             "master_seed": self.master_seed,
@@ -119,6 +131,11 @@ class ClusterPlan:
             "specs": [spec.to_dict() for spec in self.specs],
             "shard_plan": self.shard_plan.to_dict(),
         }
+        if self.guard is not None:
+            # Emitted only when set: an unguarded plan document stays
+            # byte-identical to the pre-guard format.
+            document["guard"] = dict(self.guard)
+        return document
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClusterPlan":
@@ -136,6 +153,7 @@ class ClusterPlan:
             seeds=list(data["seeds"]),
             specs=[ScenarioSpec.from_dict(entry) for entry in data["specs"]],
             shard_plan=ShardPlan.from_dict(data["shard_plan"]),
+            guard=data.get("guard"),
         )
 
     @classmethod
@@ -188,6 +206,13 @@ class ClusterCoordinator:
     cache_dir:
         Optional shared resume-cache directory (see
         :class:`~repro.runtime.cache.ResumeCache`).
+    guard:
+        Optional :class:`~repro.runtime.guard.GuardPolicy` (or its
+        ``to_dict`` form) recorded in the plan: workers bound every
+        execution with it, report failures through the transport's
+        ``fail`` op, and the coordinator-side transport quarantines a
+        scenario once its failures plus lease deaths spend the retry
+        budget.  ``None`` keeps the pre-guard protocol bit-for-bit.
     """
 
     def __init__(self, specs: Sequence[ScenarioSpec], duration: float,
@@ -198,7 +223,8 @@ class ClusterCoordinator:
                  sink: str = "jsonl",
                  lease_timeout: float = 60.0,
                  clock_skew_tolerance: float = 5.0,
-                 cache_dir: Optional[str | Path] = None) -> None:
+                 cache_dir: Optional[str | Path] = None,
+                 guard=None) -> None:
         self.specs = list(specs)
         if duration <= 0:
             raise ValueError("duration must be positive")
@@ -223,6 +249,8 @@ class ClusterCoordinator:
         self.lease_timeout = lease_timeout
         self.clock_skew_tolerance = clock_skew_tolerance
         self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.guard = (guard.to_dict() if hasattr(guard, "to_dict")
+                      else guard)
         self._shard_plan: Optional[ShardPlan] = None
 
     # ------------------------------------------------------------------ #
@@ -267,6 +295,7 @@ class ClusterCoordinator:
             seeds=derive_scenario_seeds(self.master_seed, len(self.specs)),
             specs=self.specs,
             shard_plan=self.plan(),
+            guard=self.guard,
         )
 
     @staticmethod
@@ -323,7 +352,10 @@ class ClusterCoordinator:
         """Discard all protocol state (plan, leases, done markers, parts)."""
         import shutil
 
-        for sub in (TASKS_DIR, RESULTS_DIR, WORKERS_DIR, TELEMETRY_DIR):
+        from repro.runtime.guard import QuarantineStore
+
+        for sub in (TASKS_DIR, RESULTS_DIR, WORKERS_DIR, TELEMETRY_DIR,
+                    QuarantineStore.DIRNAME):
             shutil.rmtree(self.cluster_dir / sub, ignore_errors=True)
         (self.cluster_dir / PLAN_NAME).unlink(missing_ok=True)
 
@@ -381,6 +413,16 @@ class ClusterCoordinator:
         """Whether every scenario has a done marker."""
         return all(done_path(self.cluster_dir, index).exists()
                    for index in range(len(self.specs)))
+
+    def quarantine_records(self) -> list:
+        """Durable quarantine records of this sweep (guarded runs only).
+
+        Each is a :class:`repro.runtime.guard.QuarantineRecord`; empty when
+        nothing was quarantined (or the plan ran unguarded).
+        """
+        from repro.runtime.guard import QuarantineStore
+
+        return QuarantineStore(self.cluster_dir).load_all()
 
     # ------------------------------------------------------------------ #
     # Merge

@@ -35,10 +35,19 @@ applied operation is safe by contract.  A fault burst longer than the retry
 budget surfaces as an :class:`InjectedFault` (a ``TransportError``), which
 the worker loop already treats as a coordinator outage.
 
+Protocol faults compose with **scenario-level** faults from
+:mod:`repro.runtime.guard` (re-exported here): a
+:class:`~repro.runtime.guard.ScenarioFaultPlan` published through
+``REPRO_SCENARIO_FAULTS`` makes chosen scenarios hang, exhaust memory or
+kill their worker process outright, and the guard/quarantine machinery must
+contain the blast radius while *this* module shakes the wire underneath.
+``examples/chaos_sweep.py`` runs both at once in CI.
+
 The invariant under all of this stays the cluster package's gold standard:
 a faulted sweep merges **field-for-field identical** to a serial
 ``SweepRunner`` run (``tests/test_cluster_faults.py``,
-``examples/fault_injection_sweep.py``).
+``examples/fault_injection_sweep.py``) — with quarantined scenarios, and
+only those, excluded.
 """
 
 from __future__ import annotations
@@ -57,13 +66,18 @@ from repro.cluster.transport import (
     Transport,
     TransportError,
 )
+from repro.runtime.guard import (  # noqa: F401  (re-exported)
+    SCENARIO_FAULTS_ENV,
+    ScenarioFaultPlan,
+    injected_scenario_fault,
+)
 from repro.runtime.sweep import ScenarioOutcome
 
 #: Operations faults are injected into by default.  ``plan`` is excluded:
 #: it is fetched once while the transport is being constructed, before the
 #: wrapper exists to mediate it.
 DEFAULT_FAULT_OPS = frozenset({
-    "register", "snapshot", "claim", "heartbeat", "submit",
+    "register", "snapshot", "claim", "heartbeat", "submit", "fail",
 })
 
 
@@ -315,6 +329,11 @@ class FaultyTransport(Transport):
     def submit_result(self, worker_id: str, index: int,
                       outcome: ScenarioOutcome, attempt: int = 0) -> None:
         return self._apply("submit", self.inner.submit_result,
+                           worker_id, index, outcome, attempt)
+
+    def record_failure(self, worker_id: str, index: int,
+                       outcome: ScenarioOutcome, attempt: int = 0) -> dict:
+        return self._apply("fail", self.inner.record_failure,
                            worker_id, index, outcome, attempt)
 
     def send_telemetry(self, worker_id: str, metrics: dict) -> None:

@@ -49,8 +49,12 @@ from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.scaling import ProcessPoolScaler, QueueDepthPolicy, ScalePolicy
 from repro.cluster.sinks import SINK_KINDS
 from repro.cluster.transport import (
+    MAX_FRAME_BYTES,
     FilesystemTransport,
+    FrameDecodeError,
+    FrameTooLarge,
     TransportError,
+    drain_exact,
     recv_frame,
     send_frame,
 )
@@ -144,6 +148,16 @@ class ClusterCoordinatorServer(socketserver.ThreadingTCPServer):
                                          self._checked_index(frame), outcome,
                                          attempt=int(frame.get("attempt", 0)))
                 return {"ok": True}
+            if op == "fail":
+                outcome = ScenarioOutcome.from_dict(frame["outcome"])
+                # Failure accounting can trigger a quarantine, which submits
+                # a synthetic result and releases the lease — serialise with
+                # claims so a takeover cannot race the quarantine decision.
+                with self._claim_lock:
+                    charged = self.local.record_failure(
+                        str(frame["worker_id"]), self._checked_index(frame),
+                        outcome, attempt=int(frame.get("attempt", 0)))
+                return {"ok": True, **charged}
             if op == "telemetry":
                 metrics = frame["metrics"]
                 if not isinstance(metrics, dict):
@@ -178,12 +192,49 @@ class ClusterCoordinatorServer(socketserver.ThreadingTCPServer):
 
 
 class _ClusterRequestHandler(socketserver.BaseRequestHandler):
-    """One worker connection: request/response frames until EOF."""
+    """One worker connection: request/response frames until EOF.
+
+    Malformed input does not take the connection (or the server) down:
+
+    * an **oversized** frame announcement gets a structured
+      ``{"ok": False, "error": ...}`` response; the announced body is
+      drained (up to a bounded limit) so the stream is back on a frame
+      boundary and the connection keeps serving.  Absurd announcements
+      beyond the drain limit close the connection instead — the length
+      prefix cannot be trusted, so neither can the rest of the stream.
+    * an **undecodable** body (bad UTF-8 / JSON, or a non-object frame)
+      gets a structured error response and the connection keeps serving:
+      the body was fully consumed, so the stream is still framed.
+
+    Other transport faults and socket errors close the connection; the
+    server itself keeps accepting either way.
+    """
+
+    #: Most bytes we are willing to discard to resynchronise after an
+    #: oversized frame announcement before giving up on the connection.
+    MAX_DRAIN_BYTES = 4 * MAX_FRAME_BYTES
 
     def handle(self) -> None:  # pragma: no cover - exercised via transport
         while True:
             try:
                 frame = recv_frame(self.request)
+            except FrameTooLarge as error:
+                if not self._reject(f"rejected frame: {error}"):
+                    return
+                if error.length > self.MAX_DRAIN_BYTES:
+                    logger.warning(
+                        "[serve] closing connection after a %d-byte frame "
+                        "announcement (drain limit %d)", error.length,
+                        self.MAX_DRAIN_BYTES)
+                    return
+                if not drain_exact(self.request, error.length):
+                    return
+                continue
+            except FrameDecodeError as error:
+                # Body fully consumed; the stream is still on a boundary.
+                if not self._reject(f"rejected frame: {error}"):
+                    return
+                continue
             except (TransportError, OSError):
                 return
             if frame is None:
@@ -193,6 +244,15 @@ class _ClusterRequestHandler(socketserver.BaseRequestHandler):
                 send_frame(self.request, response)
             except OSError:
                 return
+
+    def _reject(self, message: str) -> bool:
+        """Send a structured error frame; ``False`` if the peer is gone."""
+        logger.warning("[serve] %s (peer %s)", message, self.client_address)
+        try:
+            send_frame(self.request, {"ok": False, "error": message})
+        except OSError:
+            return False
+        return True
 
 
 # --------------------------------------------------------------------------- #
@@ -241,6 +301,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--reset", action="store_true",
                         help="discard state a previous (different) sweep "
                              "left in --cluster-dir")
+    parser.add_argument("--max-events", type=int, default=0,
+                        help="guard: per-scenario simulator event budget "
+                             "(0 disables)")
+    parser.add_argument("--wall-deadline", type=float, default=0.0,
+                        help="guard: per-scenario wall-clock deadline in "
+                             "seconds (0 disables)")
+    parser.add_argument("--max-attempts", type=int, default=2,
+                        help="guard: attempts per scenario before it is "
+                             "quarantined")
+    parser.add_argument("--validate", action="store_true",
+                        help="guard: validate results (ranges, finiteness, "
+                             "density-matrix sanity) before accepting them")
     parser.add_argument("--autoscale", type=int, default=0, metavar="N",
                         help="run up to N local worker processes, scaled "
                              "from queue depth (0 disables)")
@@ -284,12 +356,20 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(verbose=args.verbose)
     specs = build_grid(args)
+    guard = None
+    if args.max_events > 0 or args.wall_deadline > 0 or args.validate:
+        from repro.runtime.guard import GuardPolicy
+
+        guard = GuardPolicy(
+            max_events=args.max_events or None,
+            wall_deadline=args.wall_deadline or None,
+            max_attempts=args.max_attempts, validate=args.validate)
     coordinator = ClusterCoordinator(
         specs, args.duration, args.cluster_dir, master_seed=args.seed,
         num_shards=args.shards, sink=args.sink,
         lease_timeout=args.lease_timeout,
         clock_skew_tolerance=args.skew_tolerance,
-        cache_dir=args.cache_dir or None)
+        cache_dir=args.cache_dir or None, guard=guard)
     server = ClusterCoordinatorServer(coordinator, (args.host, args.port),
                                       reset=args.reset)
     server.start_background()

@@ -65,6 +65,7 @@ from typing import Callable, Mapping, Optional
 
 from repro.cluster.coordinator import (
     RESULTS_DIR,
+    TASKS_DIR,
     TELEMETRY_DIR,
     WORKERS_DIR,
     ClusterPlan,
@@ -73,11 +74,38 @@ from repro.cluster.coordinator import (
     lease_path,
 )
 from repro.cluster.sinks import ResultSink, open_sink, part_name
+from repro.runtime.guard import (
+    QUARANTINED,
+    GuardPolicy,
+    QuarantineRecord,
+    QuarantineStore,
+)
 from repro.runtime.sweep import ScenarioOutcome
 
 
 class TransportError(RuntimeError):
     """A transport operation failed (protocol error, connection loss, ...)."""
+
+
+class FrameTooLarge(TransportError):
+    """A peer announced a frame beyond :data:`MAX_FRAME_BYTES`.
+
+    The announced body has **not** been consumed — carrying ``length`` lets
+    the server drain it to resynchronise the stream and answer with a
+    structured error instead of dropping the connection.
+    """
+
+    def __init__(self, message: str, length: int) -> None:
+        super().__init__(message)
+        self.length = length
+
+
+class FrameDecodeError(TransportError):
+    """A complete frame body was read but could not be decoded.
+
+    The stream is still at a frame boundary, so the connection can keep
+    serving after a structured error response.
+    """
 
 
 #: Operations that are safe to deliver more than once: claims re-grant to
@@ -89,7 +117,7 @@ class TransportError(RuntimeError):
 #: grew to cover the whole protocol, is every operation.
 IDEMPOTENT_OPS = frozenset({
     "plan", "register", "snapshot", "claim", "heartbeat", "submit", "status",
-    "telemetry",
+    "telemetry", "fail",
 })
 
 
@@ -118,16 +146,36 @@ def recv_frame(sock: socket.socket) -> Optional[dict]:
         return None
     (length,) = _FRAME_HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
-        raise TransportError(f"peer announced a {length}-byte frame, "
-                             f"limit is {MAX_FRAME_BYTES}")
+        raise FrameTooLarge(f"peer announced a {length}-byte frame, "
+                            f"limit is {MAX_FRAME_BYTES}", length)
     body = _recv_exact(sock, length, allow_eof=False)
     try:
         frame = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise TransportError(f"undecodable frame: {error}") from None
+        raise FrameDecodeError(f"undecodable frame: {error}") from None
     if not isinstance(frame, dict):
-        raise TransportError(f"frame is not an object: {type(frame).__name__}")
+        raise FrameDecodeError(
+            f"frame is not an object: {type(frame).__name__}")
     return frame
+
+
+def drain_exact(sock: socket.socket, count: int) -> bool:
+    """Read and discard ``count`` bytes; ``False`` if the peer hangs up.
+
+    Used by the server to consume the body of an oversized announced frame
+    so the stream lands back on a frame boundary and the connection can
+    keep serving after a structured error response.
+    """
+    remaining = count
+    try:
+        while remaining:
+            chunk = sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                return False
+            remaining -= len(chunk)
+    except OSError:
+        return False
+    return True
 
 
 def _recv_exact(sock: socket.socket, count: int,
@@ -244,6 +292,23 @@ class Transport(ABC):
         connection reset whose first delivery may have been applied) writes
         the sink record at most once."""
 
+    def record_failure(self, worker_id: str, index: int,
+                       outcome: ScenarioOutcome, attempt: int = 0) -> dict:
+        """Report a failed execution of ``index`` *without* marking it done.
+
+        The supervision path of a guarded plan: the failure is recorded
+        durably, the reporter's lease is released (another worker may try
+        immediately), and the coordinator side charges the scenario's
+        retry budget — one unit per recorded failure *or* lease death.
+        Returns ``{"attempts": <spent>, "quarantined": <bool>}``; once the
+        budget is spent the scenario is quarantined (durable record, a
+        ``status="quarantined"`` sink outcome, done marker) so the sweep
+        completes without it.  Deliveries dedupe on ``(index, worker_id,
+        attempt)`` like submits, keeping the op idempotent.
+        """
+        raise TransportError(
+            f"{self.kind} transport does not support failure reporting")
+
     def send_telemetry(self, worker_id: str, metrics: dict) -> None:
         """Ship one worker's observability metrics snapshot.
 
@@ -288,6 +353,11 @@ class FilesystemTransport(Transport):
         #: ``(index, worker_id, attempt)`` — duplicate deliveries (retries
         #: after a reset, duplicated frames) skip the sink write.
         self._applied_submits: set[tuple[int, str, int]] = set()
+        #: Failure deliveries already applied, same dedupe contract.
+        self._applied_failures: set[tuple[int, str, int]] = set()
+        #: Supervision policy of the plan (``None`` = pre-guard protocol:
+        #: no death markers, no failure budget, no quarantine).
+        self.guard: Optional[GuardPolicy] = self.plan.guard_policy()
         # Reentrant: submit_result holds it across the sink lookup *and* the
         # write — when this instance backs the TCP coordinator, a client
         # that timed out and reconnected can have two server threads
@@ -409,6 +479,36 @@ class FilesystemTransport(Transport):
                 except (OSError, json.JSONDecodeError):
                     return False
                 return owner == worker_id
+            if self.guard is not None:
+                # The stale lease is a worker that died (or wedged) mid-
+                # scenario and never reported back.  Charge the death
+                # against the scenario's retry budget *before* handing the
+                # same scenario to the next worker — repeated lease deaths
+                # on one index are the only observable signature of a
+                # poison scenario that OOM-kills its workers, and without
+                # this check it would take the fleet down one worker at a
+                # time.  The marker is keyed on the dead lease's claimed_at
+                # stamp so racing takeovers record one death, not two.
+                try:
+                    dead = json.loads(lease.read_text())
+                except (OSError, json.JSONDecodeError):
+                    dead = {}
+                stamp = str(dead.get("claimed_at", "unknown"))
+                stamp = stamp.replace(".", "_")
+                atomic_write_json(
+                    self.cluster_dir / TASKS_DIR
+                    / f"{index}.death.{stamp}.json",
+                    {"index": index,
+                     "worker_id": dead.get("worker_id"),
+                     "claimed_at": dead.get("claimed_at"),
+                     "observed_by": worker_id,
+                     "observed_at": self.clock()},
+                    durable=True)
+                with self._lock:
+                    if (self._spent_attempts(index)
+                            >= self.guard.max_attempts):
+                        self._quarantine(index, worker_id, "crash")
+                        return False
             # Stale lease: take it over atomically.  If two workers race
             # here both takeovers "succeed" and the scenario runs twice —
             # deterministic execution makes that merely wasteful, and the
@@ -471,6 +571,81 @@ class FilesystemTransport(Transport):
                                    "wall_time": outcome.wall_time,
                                    "finished_at": self.clock()},
                                   durable=True)
+
+    # -- failures and quarantine --------------------------------------- #
+    def _spent_attempts(self, index: int) -> int:
+        """Executions charged against ``index``: reported failures plus
+        observed lease deaths (each durable as one marker file)."""
+        tasks = self.cluster_dir / TASKS_DIR
+        return (len(list(tasks.glob(f"{index}.fail.*.json")))
+                + len(list(tasks.glob(f"{index}.death.*.json"))))
+
+    def _quarantine(self, index: int, worker_id: str, status: str) -> None:
+        """Retire ``index``: durable record, sink outcome, done marker.
+
+        The sink outcome is **canonical** — built only from the plan and
+        the failure status, never from per-run diagnostics — because two
+        racing quarantine decisions (e.g. two workers both observing the
+        budget spent) each submit it, and the merge requires duplicate
+        index records to agree field-for-field.
+        """
+        if self._is_done(index):
+            return
+        spec = self.plan.specs[index]
+        budget = self.guard.max_attempts
+        QuarantineStore(self.cluster_dir).record(QuarantineRecord(
+            index=index,
+            scenario_name=spec.name,
+            seed=self.plan.seeds[index],
+            attempts=self._spent_attempts(index),
+            status=status,
+            error=None,
+            source="coordinator",
+            recorded_at=self.clock(),
+        ))
+        outcome = ScenarioOutcome(
+            scenario_name=spec.name,
+            scheduler_name=spec.scheduler_name(),
+            seed=self.plan.seeds[index],
+            duration=self.plan.duration,
+            status=QUARANTINED,
+            error=(f"quarantined after spending the retry budget "
+                   f"({budget} attempt(s)); last failure [{status}]"),
+            backend=spec.backend_name(),
+            engine=spec.engine_name(),
+        )
+        self.submit_result(worker_id, index, outcome, attempt=-1)
+
+    def record_failure(self, worker_id: str, index: int,
+                       outcome: ScenarioOutcome, attempt: int = 0) -> dict:
+        with self._lock:
+            key = (index, worker_id, attempt)
+            if key not in self._applied_failures and not self._is_done(index):
+                error = outcome.error or ""
+                atomic_write_json(
+                    self.cluster_dir / TASKS_DIR
+                    / f"{index}.fail.{worker_id}.{attempt}.json",
+                    {"index": index, "worker_id": worker_id,
+                     "attempt": attempt, "status": outcome.status,
+                     "error": error[:2000], "recorded_at": self.clock()},
+                    durable=True)
+            self._applied_failures.add(key)
+            # Release the reporter's lease so the retry (here or on any
+            # other worker) does not have to wait out a lease timeout.
+            lease = lease_path(self.cluster_dir, index)
+            try:
+                if json.loads(lease.read_text()).get("worker_id") == worker_id:
+                    lease.unlink()
+            except (OSError, json.JSONDecodeError):
+                pass
+            spent = self._spent_attempts(index)
+            quarantined = (QuarantineStore(self.cluster_dir).path(index)
+                           .exists())
+            if (not quarantined and self.guard is not None
+                    and spent >= self.guard.max_attempts):
+                self._quarantine(index, worker_id, outcome.status)
+                quarantined = True
+            return {"attempts": spent, "quarantined": quarantined}
 
     def send_telemetry(self, worker_id: str, metrics: dict) -> None:
         # One file per worker, replaced whole on every upload: duplicate
@@ -665,6 +840,13 @@ class SocketTransport(Transport):
                       outcome: ScenarioOutcome, attempt: int = 0) -> None:
         self.request("submit", worker_id=worker_id, index=index,
                      outcome=outcome.to_dict(), attempt=attempt)
+
+    def record_failure(self, worker_id: str, index: int,
+                       outcome: ScenarioOutcome, attempt: int = 0) -> dict:
+        response = self.request("fail", worker_id=worker_id, index=index,
+                                outcome=outcome.to_dict(), attempt=attempt)
+        return {"attempts": int(response.get("attempts", 0)),
+                "quarantined": bool(response.get("quarantined", False))}
 
     def send_telemetry(self, worker_id: str, metrics: dict) -> None:
         self.request("telemetry", worker_id=worker_id, metrics=metrics)

@@ -33,6 +33,16 @@ per step and advances them as one vectorized cohort
 failure story is unchanged — a member whose lease was taken over mid-cohort
 is aborted individually while the others still submit.
 
+When the plan carries a :class:`~repro.runtime.guard.GuardPolicy` the worker
+executes under it (event budgets, wall deadlines, result validation) and
+reports failed outcomes through
+:meth:`~repro.cluster.transport.Transport.record_failure` instead of
+submitting them: the coordinator charges the scenario's retry budget,
+releases the lease for a retry, and quarantines the scenario once the
+budget is spent.  A ``MemoryError`` anywhere in execution is reported as an
+``oom`` failure and halves this worker's cohort batch size — the usual
+reason a cohort blows the memory ceiling is the cohort itself.
+
 CLI — the whole multi-machine deployment story::
 
     python -m repro.cluster.worker --cluster-dir DIR          # shared filesystem
@@ -63,7 +73,11 @@ from repro.runtime.cache import (
     ResumeCache,
     cost_model_path,
 )
-from repro.runtime.sweep import ScenarioOutcome, execute_scenario
+from repro.runtime.sweep import (
+    ScenarioOutcome,
+    _failure_outcome,
+    execute_scenario,
+)
 
 logger = logging.getLogger("repro.cluster.worker")
 
@@ -222,6 +236,11 @@ class ClusterWorker:
         self.on_outcome = on_outcome
         self.crashed = False
         self.executed: list[int] = []
+        #: Indices whose failed outcomes were reported through
+        #: :meth:`Transport.record_failure` (guarded plans only) — the
+        #: scenario goes back to pending for a retry, or is quarantined by
+        #: the coordinator once its budget is spent.
+        self.failed: list[int] = []
         #: Indices this worker computed but did **not** submit because its
         #: lease was taken over mid-run (the peer that took over owns the
         #: submission; submitting here too would double-count).
@@ -238,6 +257,10 @@ class ClusterWorker:
         #: are bit-identical with or without the reuse).
         self._cohort_backend = None
         self._cache = None if cache_dir is None else ResumeCache(cache_dir)
+        #: The plan's supervision policy (``None`` on unguarded plans):
+        #: installed into every execution and the trigger for routing
+        #: failures through ``record_failure`` instead of ``submit_result``.
+        self.guard = self.plan.guard_policy()
         self.shard = self.transport.register_worker(self.worker_id, shard)
         self._own_indices = frozenset(
             self.plan.shard_plan.shards[self.shard])
@@ -313,8 +336,22 @@ class ClusterWorker:
         outcome = self._load_cached(index)
         if outcome is None:
             spec = self.plan.specs[index]
-            outcome = execute_scenario(spec, self.plan.seeds[index],
-                                       self.plan.duration)
+            # Unguarded plans keep the exact pre-guard call (and signature,
+            # for test doubles); the keyword only appears when a policy is
+            # actually in force.
+            guard_kwargs = {} if self.guard is None else {"guard": self.guard}
+            try:
+                outcome = execute_scenario(spec, self.plan.seeds[index],
+                                           self.plan.duration,
+                                           **guard_kwargs)
+            except MemoryError:
+                # execute_scenario catches MemoryError from the scenario
+                # itself; this one fired outside it (cache I/O, outcome
+                # assembly).  Same taxonomy: an oom failure.
+                outcome = _failure_outcome(
+                    spec, self.plan.seeds[index], self.plan.duration,
+                    "oom", "MemoryError outside scenario execution",
+                    time.perf_counter())
             if self._cache is not None:
                 self._cache.store(spec, outcome, self.plan.duration)
         return outcome
@@ -356,9 +393,42 @@ class ClusterWorker:
         if self.on_outcome is not None:
             self.on_outcome(outcome)
 
+    def _report_failure(self, index: int, outcome: ScenarioOutcome) -> None:
+        """Charge a failed execution against the scenario's retry budget.
+
+        The transport releases this worker's lease (the scenario goes back
+        to pending for a retry — possibly by this same worker) and, once
+        the budget is spent, quarantines it: a durable record plus a
+        synthetic ``quarantined`` outcome in the sinks, so the sweep still
+        completes.  An ``oom`` failure additionally halves this worker's
+        cohort batch size — smaller cohorts are the one lever a worker has
+        against its own memory ceiling.
+        """
+        self._attempts += 1
+        self.failed.append(index)
+        if self.metrics is not None:
+            self.metrics.counter("repro_worker_failures_total",
+                                 status=outcome.status)
+        if outcome.status == "oom" and self.batch_size > 1:
+            self.batch_size = max(1, self.batch_size // 2)
+            logger.warning("[%s] oom on scenario %d; cohort batch size "
+                           "halved to %d", self.worker_id, index,
+                           self.batch_size)
+        charged = self.transport.record_failure(self.worker_id, index,
+                                                outcome,
+                                                attempt=self._attempts)
+        logger.warning(
+            "[%s] scenario %d failed [%s] — attempt %s of %d%s: %s",
+            self.worker_id, index, outcome.status,
+            charged.get("attempts", "?"), self.guard.max_attempts,
+            " (quarantined)" if charged.get("quarantined") else "",
+            outcome.error)
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
+
     def _execute_claimed(self, index: int) -> int:
         """Run one freshly claimed scenario under its heartbeat and submit
-        (or abort) it."""
+        (or abort/report) it."""
         with _Heartbeat(self.transport, index, self.worker_id,
                         self.plan.lease_timeout / 3.0) as heartbeat:
             outcome = self._compute(index)
@@ -369,6 +439,10 @@ class ClusterWorker:
         # submitting both would double-count it.
         if heartbeat.lease_lost.is_set():
             self._abort(index)
+            return index
+        if (self.guard is not None and not outcome.ok
+                and not outcome.from_cache):
+            self._report_failure(index, outcome)
             return index
         self._submit(index, outcome)
         return index
@@ -465,14 +539,32 @@ class ClusterWorker:
                                self.plan.lease_timeout / 3.0))
                 for payload in payloads
             }
-            outcomes = execute_cohort(payloads,
-                                      backend=self._cohort_backend)
+            try:
+                outcomes = execute_cohort(payloads,
+                                          backend=self._cohort_backend,
+                                          guard=self.guard)
+            except MemoryError:
+                # The cohort itself (vectorized state allocation) blew the
+                # memory ceiling before per-member handling could: every
+                # member becomes an oom failure, and _report_failure halves
+                # the batch size so the retries come back smaller.
+                self._cohort_backend = None
+                outcomes = [
+                    (payload[0], _failure_outcome(
+                        payload[1], payload[2], payload[3], "oom",
+                        f"MemoryError in a {len(payloads)}-member cohort",
+                        time.perf_counter()))
+                    for payload in payloads
+                ]
         # All heartbeat threads are joined here — per-member lease_lost is
         # final, and a displaced member aborts while the rest submit.
         specs = {payload[0]: payload[1] for payload in payloads}
         for index, outcome in outcomes:
             if beats[index].lease_lost.is_set():
                 self._abort(index)
+                continue
+            if self.guard is not None and not outcome.ok:
+                self._report_failure(index, outcome)
                 continue
             if self._cache is not None:
                 self._cache.store(specs[index], outcome, self.plan.duration)

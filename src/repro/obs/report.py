@@ -12,7 +12,11 @@ Usage::
   / ``profile.collapsed``;
 - one of those files directly;
 - a merged sweep/cluster result JSON carrying a ``telemetry`` section
-  (as produced by a cluster sweep with ``REPRO_OBS=...,metrics``).
+  (as produced by a cluster sweep with ``REPRO_OBS=...,metrics``);
+- a ``quarantine/`` directory of durable
+  :class:`~repro.runtime.guard.QuarantineRecord` files (or any cache /
+  cluster directory containing one) — rendered as a per-scenario table of
+  who quarantined what, after how many attempts, and why.
 
 For traces the report shows the top-N event kinds by executed count,
 elision/cancellation accounting, aggregate counters, and an ASCII
@@ -30,7 +34,8 @@ from typing import Dict, List, Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import read_jsonl
 
-__all__ = ["main", "render_trace", "render_metrics", "render_profile"]
+__all__ = ["main", "render_trace", "render_metrics", "render_profile",
+           "render_quarantine"]
 
 
 def _bar(count: int, peak: int, width: int) -> str:
@@ -128,6 +133,36 @@ def render_profile(path: Path, top: int = 15, out=None) -> None:
         out.write(f"  {count:>8} ({share:5.1f}%)  {leaf}   [{stack[-120:]}]\n")
 
 
+def render_quarantine(path: Path, out=None) -> bool:
+    """Render the quarantine records under ``path``; False when empty.
+
+    ``path`` may be the ``quarantine/`` directory itself or any directory
+    containing one (a resume-cache or cluster directory).
+    """
+    from repro.runtime.guard import QuarantineStore
+
+    out = out if out is not None else sys.stdout
+    if path.name == QuarantineStore.DIRNAME:
+        path = path.parent
+    records = QuarantineStore(path).load_all()
+    if not records:
+        return False
+    out.write(f"== quarantine: {path / QuarantineStore.DIRNAME} "
+              f"({len(records)} record(s)) ==\n")
+    out.write(f"  {'index':>5}  {'status':<14} {'attempts':>8}  "
+              f"{'source':<11} scenario\n")
+    for record in records:
+        out.write(f"  {record.index:>5}  {record.status:<14} "
+                  f"{record.attempts:>8}  {record.source:<11} "
+                  f"{record.scenario_name}\n")
+        if record.error:
+            error = record.error.replace("\n", " ")
+            if len(error) > 120:
+                error = error[:117] + "..."
+            out.write(f"         {error}\n")
+    return True
+
+
 def _render_run_dir(run_dir: Path, top: int, width: int, out) -> bool:
     rendered = False
     trace = run_dir / "trace.jsonl"
@@ -143,6 +178,10 @@ def _render_run_dir(run_dir: Path, top: int, width: int, out) -> bool:
     if profile.exists():
         render_profile(profile, top=top, out=out)
         rendered = True
+    from repro.runtime.guard import QuarantineStore
+
+    if (run_dir / QuarantineStore.DIRNAME).is_dir():
+        rendered = render_quarantine(run_dir, out=out) or rendered
     return rendered
 
 
@@ -168,6 +207,10 @@ def render_path(path: Path, top: int = 15, width: int = 50,
             return True
         return False
     if path.is_dir():
+        from repro.runtime.guard import QuarantineStore
+
+        if path.name == QuarantineStore.DIRNAME:
+            return render_quarantine(path, out=out)
         if _render_run_dir(path, top, width, out):
             return True
         rendered = False

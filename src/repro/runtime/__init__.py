@@ -15,6 +15,12 @@ from repro.runtime.scenarios import (
     ScenarioSpec,
 )
 from repro.runtime.cache import CacheReport, CacheSkip, ResumeCache
+from repro.runtime.guard import (
+    GuardPolicy,
+    QuarantineRecord,
+    QuarantineStore,
+    ScenarioFaultPlan,
+)
 from repro.runtime.sweep import (
     ScenarioOutcome,
     SweepResult,
@@ -28,7 +34,11 @@ from repro.runtime.sweep import (
 __all__ = [
     "CacheReport",
     "CacheSkip",
+    "GuardPolicy",
+    "QuarantineRecord",
+    "QuarantineStore",
     "ResumeCache",
+    "ScenarioFaultPlan",
     "derive_keyed_seed",
     "execute_scenario",
     "WorkloadSpec",

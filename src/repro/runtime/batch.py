@@ -87,6 +87,14 @@ class CohortRunner:
         consecutive cohorts reuse warmed caches.
     steps:
         Lockstep slices (see :data:`DEFAULT_STEPS`).
+    guard:
+        Optional :class:`repro.runtime.guard.GuardPolicy` installed on
+        every member's engine: the event budget applies per member, and
+        the wall deadline — armed once at cohort start — bounds the whole
+        cohort, so one hung member cannot wedge the process.  A member
+        interrupted by its guard is retired like any failed member (its
+        :class:`~repro.sim.engine.EngineInterrupt` traceback lands in
+        ``errors``); :func:`execute_cohort` then re-runs it solo.
 
     After :meth:`run`, ``errors`` holds the per-member traceback (or
     ``None``) and ``wall_time`` the cohort's total wall-clock seconds.
@@ -96,7 +104,8 @@ class CohortRunner:
                  duration: Union[float, Sequence[float]],
                  seeds: Optional[Sequence[Optional[int]]] = None,
                  backend: Optional[PhysicsBackend] = None,
-                 steps: int = DEFAULT_STEPS) -> None:
+                 steps: int = DEFAULT_STEPS,
+                 guard=None) -> None:
         self.specs = list(specs)
         if not self.specs:
             raise ValueError("cohort is empty")
@@ -127,6 +136,7 @@ class CohortRunner:
         self.backend = (backend if backend is not None
                         else VectorizedAnalyticBackend())
         self.steps = max(1, int(steps))
+        self.guard = guard
         self.errors: list[Optional[str]] = [None] * len(self.specs)
         self.wall_time = 0.0
 
@@ -145,6 +155,8 @@ class CohortRunner:
                     seed=spec.seed if seed is None else seed,
                     attempt_batch_size=spec.attempt_batch_size,
                     backend=self.backend, engine=spec.engine)
+                if self.guard is not None:
+                    self.guard.install(member.run.network.engine)
                 member.run.start()
                 live.append(member)
             except Exception:
@@ -182,24 +194,47 @@ class CohortRunner:
 
 def execute_cohort(payloads: Sequence[tuple[int, ScenarioSpec, int, float]],
                    backend: Optional[PhysicsBackend] = None,
-                   ) -> list[tuple[int, "object"]]:
+                   guard=None) -> list[tuple[int, "object"]]:
     """Cohort analogue of :func:`repro.runtime.sweep.execute_scenario`.
 
     Runs the ``(index, spec, seed, duration)`` payloads as one cohort and
     folds every member into a plain-data
     :class:`~repro.runtime.sweep.ScenarioOutcome` tagged with the cohort
     size.  Always returns one ``(index, outcome)`` pair per payload — a
-    failed member (or a cohort-level failure) becomes ``status="error"``
-    records, never an exception.
-    """
-    from repro.runtime.sweep import ScenarioOutcome
+    failed member (or a cohort-level failure) becomes failed records,
+    never an exception.
 
-    specs = [payload[1] for payload in payloads]
-    seeds = [payload[2] for payload in payloads]
-    durations = [payload[3] for payload in payloads]
-    cohort = len(payloads)
+    With a ``guard`` (a :class:`repro.runtime.guard.GuardPolicy`), member
+    engines are bounded and the cohort **degrades** instead of failing
+    wholesale: any member that fails or times out inside the cohort is
+    automatically re-run solo through ``execute_scenario`` — an innocent
+    member of a poisoned cohort recovers on the spot, and only the poison
+    member's own solo failure is left to charge its retry budget.  Members
+    with a scheduled scenario-level fault (``REPRO_SCENARIO_FAULTS``) are
+    routed straight to the solo path so the fault fires under the guard.
+    """
+    from repro.runtime.guard import injected_scenario_fault, validate_outcome
+    from repro.runtime.sweep import ScenarioOutcome, execute_scenario
+
+    outcomes: list[tuple[int, ScenarioOutcome]] = []
+    grouped: list[tuple[int, ScenarioSpec, int, float]] = []
+    for payload in payloads:
+        if injected_scenario_fault(payload[1].name) is not None:
+            index, spec, seed, duration = payload
+            outcomes.append(
+                (index, execute_scenario(spec, seed, duration, guard=guard)))
+        else:
+            grouped.append(payload)
+    if not grouped:
+        return outcomes
+
+    specs = [payload[1] for payload in grouped]
+    seeds = [payload[2] for payload in grouped]
+    durations = [payload[3] for payload in grouped]
+    cohort = len(grouped)
     try:
-        runner = CohortRunner(specs, durations, seeds=seeds, backend=backend)
+        runner = CohortRunner(specs, durations, seeds=seeds, backend=backend,
+                              guard=guard)
         results = runner.run()
         errors = runner.errors
         # The member's effective cost inside the cohort — what batched
@@ -211,9 +246,8 @@ def execute_cohort(payloads: Sequence[tuple[int, ScenarioSpec, int, float]],
         errors = [text] * cohort
         member_wall = 0.0
 
-    outcomes: list[tuple[int, ScenarioOutcome]] = []
     for (index, spec, seed, duration), result, error in zip(
-            payloads, results, errors):
+            grouped, results, errors):
         if result is not None:
             if result.obs is not None:
                 # Same artifact layout as the solo path, so solo vs cohort
@@ -235,6 +269,16 @@ def execute_cohort(payloads: Sequence[tuple[int, ScenarioSpec, int, float]],
                 wall_time=member_wall,
                 cohort=cohort,
             )
+            if (guard is not None and guard.validate
+                    and validate_outcome(outcome)):
+                # Suspicious result: isolate on the solo path, where the
+                # full validation pass (backend states included) decides.
+                outcome = execute_scenario(spec, seed, duration, guard=guard)
+        elif guard is not None:
+            # Cohort degradation: the failed member re-runs solo, bounded
+            # by its own fresh deadline, so its failure is classified
+            # (timeout/oom/error) in isolation.
+            outcome = execute_scenario(spec, seed, duration, guard=guard)
         else:
             outcome = ScenarioOutcome(
                 scenario_name=spec.name,

@@ -44,7 +44,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
 #: outcome-preserving timer elision) alongside ``events_processed`` —
 #: provenance like the engine field, but old entries would silently
 #: report 0, so the version forces a recompute.
-CACHE_VERSION = 7
+#: v8: guarded sweeps persist *failed* outcomes too, with an ``attempts``
+#: count in the wrapper payload, so retry budgets and quarantine decisions
+#: survive resumes (unguarded sweeps still cache only successes).
+CACHE_VERSION = 8
 
 #: Canonical filename of the persisted scenario cost model (see
 #: :class:`repro.cluster.planner.RecordedCostModel`): it lives next to the
@@ -151,9 +154,12 @@ class ResumeCache:
     """Per-scenario result cache shared by :class:`SweepRunner` and cluster
     workers.
 
-    Only successful outcomes are stored, so failures are retried on the next
-    attempt.  Writes are atomic (tmp + rename): a killed run never leaves a
-    half-written entry.
+    Unguarded runs store only successful outcomes, so failures are retried
+    on the next attempt.  Guarded runs (``repro.runtime.guard``) also
+    persist failed outcomes together with an ``attempts`` count, so the
+    retry budget — and a quarantine decision — survives resumes.  Writes
+    are atomic (tmp + rename): a killed run never leaves a half-written
+    entry.
     """
 
     def __init__(self, directory: str | Path) -> None:
@@ -191,6 +197,7 @@ class ResumeCache:
     # Load / store
     # ------------------------------------------------------------------ #
     def load(self, spec: "ScenarioSpec", seed: int, duration: float,
+             max_attempts: Optional[int] = None,
              ) -> tuple[Optional["ScenarioOutcome"], Optional[str]]:
         """Look up a cached outcome.
 
@@ -198,6 +205,12 @@ class ResumeCache:
         plain miss, and ``(None, reason)`` when an entry was found but had to
         be skipped (wrong cache version, different backend or engine,
         corrupt, or a recorded failure).  Skips are logged.
+
+        ``max_attempts`` is the guard's retry budget: a recorded failure
+        that already spent it — or was explicitly quarantined — is returned
+        as a hit (it stays retired across resumes) instead of being
+        retried; failures with budget left report their attempt count in
+        the skip reason.  Without it, every recorded failure retries.
         """
         from repro.runtime.sweep import ScenarioOutcome
 
@@ -253,16 +266,59 @@ class ResumeCache:
             self._log_skip(spec.name, reason)
             return None, reason
         if not outcome.ok:
-            reason = "cache entry records a failed run; retrying"
+            attempts = data.get("attempts")
+            if outcome.status == "quarantined" or (
+                    max_attempts is not None and attempts is not None
+                    and int(attempts) >= max_attempts):
+                # The scenario exhausted its retry budget in a previous
+                # run — quarantine is durable across resumes.
+                outcome.from_cache = True
+                return outcome, None
+            if attempts is not None and max_attempts is not None:
+                reason = (f"cache entry records a failed run (attempt "
+                          f"{attempts}/{max_attempts}); retrying")
+            else:
+                reason = "cache entry records a failed run; retrying"
             self._log_skip(spec.name, reason)
             return None, reason
         outcome.from_cache = True
         return outcome, None
 
+    def recorded_attempts(self, spec: "ScenarioSpec", seed: int,
+                          duration: float) -> int:
+        """Attempts already charged against ``spec`` by previous runs.
+
+        Reads the ``attempts`` count of a recorded failure for the same
+        cache identity (version, backend, engine); 0 when there is no such
+        entry.  Lets a resumed guarded sweep continue a retry budget
+        instead of resetting it.
+        """
+        path = self.path(spec, seed, duration)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return 0
+        if not isinstance(data, dict):
+            return 0
+        if data.get("cache_version") != CACHE_VERSION:
+            return 0
+        if (data.get("backend") != spec.backend_name()
+                or data.get("engine") != spec.engine_name()):
+            return 0
+        attempts = data.get("attempts")
+        return int(attempts) if isinstance(attempts, int) else 0
+
     def store(self, spec: "ScenarioSpec", outcome: "ScenarioOutcome",
-              duration: float) -> None:
-        """Persist a successful outcome (failures are never cached)."""
-        if not outcome.ok:
+              duration: float, attempts: Optional[int] = None) -> None:
+        """Persist an outcome.
+
+        Successful outcomes are always stored.  Failed outcomes are stored
+        only when ``attempts`` is given (a guarded run tracking its retry
+        budget) — the count lands in the wrapper payload so the budget
+        survives resumes; unguarded runs keep the never-cache-failures
+        behavior.
+        """
+        if not outcome.ok and attempts is None:
             return
         path = self.path(spec, outcome.seed, duration,
                          backend=outcome.backend, engine=outcome.engine)
@@ -273,6 +329,8 @@ class ResumeCache:
             "topology": _topology_stamp(spec),
             "outcome": outcome.to_dict(),
         }
+        if attempts is not None:
+            payload["attempts"] = int(attempts)
         atomic_write_text(path, json.dumps(payload))
 
     # ------------------------------------------------------------------ #

@@ -209,8 +209,16 @@ class ScenarioSpec:
     def run(self, duration: float, seed: Optional[int] = None,
             attempt_batch_size: Optional[int] = None,
             backend: Optional[str] = None,
-            engine: Optional[str] = None) -> RunResult:
-        """Build and run the scenario for ``duration`` simulated seconds."""
+            engine: Optional[str] = None,
+            guard=None) -> RunResult:
+        """Build and run the scenario for ``duration`` simulated seconds.
+
+        ``guard`` (a :class:`repro.runtime.guard.GuardPolicy`) arms the
+        run's event engine with an event budget / wall deadline before the
+        first event executes; exceeding either raises
+        :class:`repro.sim.engine.EngineInterrupt` out of this method with
+        partial provenance.  ``None`` leaves the engine untouched.
+        """
         batch = (self.attempt_batch_size if attempt_batch_size is None
                  else attempt_batch_size)
         if self.topology is not None:
@@ -222,6 +230,8 @@ class ScenarioSpec:
                 attempt_batch_size=batch,
                 backend=backend if backend is not None else self.backend,
                 engine=engine if engine is not None else self.engine)
+            if guard is not None:
+                guard.install(simulation.network.engine)
             return simulation.run(duration)
         simulation = SimulationRun(self.scenario, self.workload,
                                    scheduler=self.scheduler,
@@ -231,6 +241,8 @@ class ScenarioSpec:
                                    else self.backend,
                                    engine=engine if engine is not None
                                    else self.engine)
+        if guard is not None:
+            guard.install(simulation.network.engine)
         return simulation.run(duration)
 
 

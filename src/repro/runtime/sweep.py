@@ -41,6 +41,18 @@ import numpy as np
 
 from repro.analysis.metrics import MetricsSummary
 from repro.runtime.cache import CACHE_VERSION, CacheReport, CacheSkip, ResumeCache
+from repro.runtime.guard import (
+    QUARANTINED,
+    EngineInterrupt,
+    GuardPolicy,
+    QuarantineRecord,
+    QuarantineStore,
+    injected_scenario_fault,
+    perform_injected_fault,
+    quarantined_outcome,
+    validate_backend_states,
+    validate_outcome,
+)
 from repro.runtime.scenarios import (
     ScenarioSpec,
     chain_grid,
@@ -52,6 +64,7 @@ __all__ = [
     "CACHE_VERSION",
     "CacheReport",
     "CacheSkip",
+    "GuardPolicy",
     "ResumeCache",
     "ScenarioOutcome",
     "SweepResult",
@@ -216,6 +229,18 @@ class SweepResult:
         """Outcomes whose scenario raised inside the worker."""
         return [outcome for outcome in self.outcomes if not outcome.ok]
 
+    @property
+    def quarantined(self) -> list[ScenarioOutcome]:
+        """Outcomes retired by the supervision layer's retry budget."""
+        return [outcome for outcome in self.outcomes
+                if outcome.status == QUARANTINED]
+
+    @property
+    def quarantined_indices(self) -> list[int]:
+        """Scenario indices (sweep order) of the quarantined outcomes."""
+        return [index for index, outcome in enumerate(self.outcomes)
+                if outcome.status == QUARANTINED]
+
     def summaries(self) -> dict[str, MetricsSummary]:
         """Scenario name -> summary for the successful outcomes."""
         return {outcome.scenario_name: outcome.summary
@@ -261,24 +286,50 @@ class SweepResult:
         return cls.from_json(Path(path).read_text())
 
 
-def execute_scenario(spec: ScenarioSpec, seed: int,
-                     duration: float) -> ScenarioOutcome:
+def _failure_outcome(spec: ScenarioSpec, seed: int, duration: float,
+                     status: str, error: str, started: float,
+                     events_processed: int = 0) -> ScenarioOutcome:
+    """A failed outcome carrying the spec's identity and any provenance."""
+    return ScenarioOutcome(
+        scenario_name=spec.name,
+        scheduler_name=spec.scheduler_name(),
+        seed=seed,
+        duration=duration,
+        status=status,
+        error=error,
+        backend=spec.backend_name(),
+        engine=spec.engine_name(),
+        events_processed=events_processed,
+        wall_time=time.perf_counter() - started,
+    )
+
+
+def execute_scenario(spec: ScenarioSpec, seed: int, duration: float,
+                     guard: Optional[GuardPolicy] = None) -> ScenarioOutcome:
     """Run one scenario and fold the result into a plain-data outcome.
 
     This is the single execution primitive shared by the in-process sweep,
     the multiprocessing pool workers and the ``repro.cluster`` workers.
-    Always returns an outcome — any exception becomes a ``status="error"``
-    record so a bad scenario cannot hang or poison a pool or a shard.
+    Always returns an outcome — any exception becomes a failed record so a
+    bad scenario cannot poison a pool or a shard.  With a ``guard``, the
+    engine's event budget / wall deadline bound the run (``timeout``
+    outcomes carry partial provenance: events processed, sim-time reached),
+    ``MemoryError`` is folded to ``oom``, and a validation pass demotes
+    silently-corrupt results to ``invalid-result``.  Without one, behavior
+    is byte-identical to the unguarded primitive.
     """
     started = time.perf_counter()
     try:
-        result = spec.run(duration, seed=seed)
+        fault = injected_scenario_fault(spec.name)
+        if fault is not None:
+            perform_injected_fault(fault, spec.name, guard)
+        result = spec.run(duration, seed=seed, guard=guard)
         if result.obs is not None:
             # Observability artifacts (trace/metrics/profile) go to
             # REPRO_OBS_DIR/<scenario>-seed<seed>/ — the outcome payload
             # itself stays identical to an uninstrumented run.
             result.obs.write_artifacts(f"{spec.name}-seed{seed}")
-        return ScenarioOutcome(
+        outcome = ScenarioOutcome(
             scenario_name=spec.name,
             scheduler_name=result.scheduler_name,
             seed=seed,
@@ -295,18 +346,27 @@ def execute_scenario(spec: ScenarioSpec, seed: int,
             end_to_end=result.end_to_end,
             topology=result.topology,
         )
+        if guard is not None and guard.validate:
+            problems = validate_outcome(outcome)
+            if not problems and result.network is not None:
+                problems = validate_backend_states(result.network.backend,
+                                                   spec.scenario)
+            if problems:
+                return _failure_outcome(
+                    spec, seed, duration, "invalid-result",
+                    "result validation failed: " + "; ".join(problems),
+                    started, events_processed=outcome.events_processed)
+        return outcome
+    except EngineInterrupt as exc:
+        return _failure_outcome(spec, seed, duration, "timeout", str(exc),
+                                started,
+                                events_processed=exc.events_processed)
+    except MemoryError as exc:
+        return _failure_outcome(spec, seed, duration, "oom",
+                                f"MemoryError: {exc}", started)
     except Exception:
-        return ScenarioOutcome(
-            scenario_name=spec.name,
-            scheduler_name=spec.scheduler_name(),
-            seed=seed,
-            duration=duration,
-            status="error",
-            error=traceback.format_exc(),
-            backend=spec.backend_name(),
-            engine=spec.engine_name(),
-            wall_time=time.perf_counter() - started,
-        )
+        return _failure_outcome(spec, seed, duration, "error",
+                                traceback.format_exc(), started)
 
 
 def _execute_scenario(payload: tuple[int, ScenarioSpec, int, float],
@@ -320,16 +380,19 @@ def _execute_task(task: tuple) -> list[tuple[int, ScenarioOutcome]]:
     """Pool-worker dispatcher for solo scenarios and whole cohorts.
 
     ``("solo", payload)`` runs one scenario; ``("cohort", payloads)`` runs
-    a list of payloads as one vectorized cohort in this process.  Either
-    way the result is a list of ``(index, outcome)`` pairs.
+    a list of payloads as one vectorized cohort in this process.  Tasks
+    optionally carry a third :class:`GuardPolicy` element (two-tuples stay
+    valid so queued pre-guard payloads keep working).  Either way the
+    result is a list of ``(index, outcome)`` pairs.
     """
-    kind, payload = task
+    kind, payload = task[0], task[1]
+    guard = task[2] if len(task) > 2 else None
     if kind == "solo":
         index, spec, seed, duration = payload
-        return [(index, execute_scenario(spec, seed, duration))]
+        return [(index, execute_scenario(spec, seed, duration, guard=guard))]
     from repro.runtime.batch import execute_cohort
 
-    return execute_cohort(payload)
+    return execute_cohort(payload, guard=guard)
 
 
 class SweepRunner:
@@ -371,6 +434,14 @@ class SweepRunner:
         everything else runs on the solo path.  Results, seeds, resume
         caching and failure isolation are identical to ``batch_size=1`` —
         a cohort sweep is field-for-field equal to a serial sweep.
+    guard:
+        Optional :class:`~repro.runtime.guard.GuardPolicy` supervising
+        every execution: engine-level deadlines/budgets, result
+        validation, and a retry budget — a scenario still failing after
+        ``guard.max_attempts`` executions is **quarantined** (durable
+        record under ``cache_dir``, ``status="quarantined"`` outcome) and
+        the sweep completes without it.  ``None`` (the default) preserves
+        the unguarded behavior bit-for-bit.
     """
 
     def __init__(self, scenarios: Sequence[ScenarioSpec], duration: float,
@@ -380,6 +451,7 @@ class SweepRunner:
                  on_outcome: Optional[Callable[[ScenarioOutcome], None]] = None,
                  seed_key: Optional[Callable[[ScenarioSpec], object]] = None,
                  batch_size: int = 1,
+                 guard: Optional[GuardPolicy] = None,
                  ) -> None:
         self.scenarios = list(scenarios)
         if duration <= 0:
@@ -401,6 +473,7 @@ class SweepRunner:
         self.on_outcome = on_outcome
         self.seed_key = seed_key
         self.batch_size = max(1, int(batch_size))
+        self.guard = guard
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
@@ -438,7 +511,9 @@ class SweepRunner:
                      seed: int) -> Optional[ScenarioOutcome]:
         if self._cache is None:
             return None
-        outcome, reason = self._cache.load(spec, seed, self.duration)
+        max_attempts = None if self.guard is None else self.guard.max_attempts
+        outcome, reason = self._cache.load(spec, seed, self.duration,
+                                           max_attempts=max_attempts)
         if outcome is not None:
             self._cache_report.hits.append(spec.name)
         elif reason is not None:
@@ -448,9 +523,10 @@ class SweepRunner:
         return outcome
 
     def _store_cached(self, spec: ScenarioSpec, outcome: ScenarioOutcome,
-                      ) -> None:
+                      attempts: Optional[int] = None) -> None:
         if self._cache is not None:
-            self._cache.store(spec, outcome, self.duration)
+            self._cache.store(spec, outcome, self.duration,
+                              attempts=attempts)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -473,6 +549,8 @@ class SweepRunner:
         def observe(outcome: ScenarioOutcome) -> None:
             registry.counter("repro_sweep_scenarios_total",
                              status=outcome.status)
+            if outcome.status == "timeout":
+                registry.counter("repro_sweep_timeouts_total")
             if outcome.from_cache:
                 registry.counter("repro_sweep_cache_hits_total")
             else:
@@ -491,6 +569,10 @@ class SweepRunner:
         seeds = self.scenario_seeds()
         outcomes: list[Optional[ScenarioOutcome]] = [None] * len(self.scenarios)
         pending: list[tuple[int, ScenarioSpec, int, float]] = []
+        # Executions charged against each scenario's retry budget (guarded
+        # sweeps only), seeded from the resume cache so attempts spent in a
+        # previous interrupted run still count.
+        attempts: dict[int, int] = {}
         for index, (spec, seed) in enumerate(zip(self.scenarios, seeds)):
             cached = self._load_cached(spec, seed)
             if cached is not None:
@@ -501,17 +583,27 @@ class SweepRunner:
                     self.on_outcome(cached)
             else:
                 pending.append((index, spec, seed, self.duration))
+                if self.guard is not None and self._cache is not None:
+                    prior = self._cache.recorded_attempts(
+                        spec, seed, self.duration)
+                    if prior:
+                        attempts[index] = prior
 
         def record(index: int, outcome: ScenarioOutcome) -> None:
             outcomes[index] = outcome
-            self._store_cached(self.scenarios[index], outcome)
+            self._store_cached(self.scenarios[index], outcome,
+                               attempts=attempts.get(index))
             if registry is not None:
                 observe(outcome)
             if self.on_outcome is not None:
                 self.on_outcome(outcome)
 
-        if pending:
-            tasks = self._build_tasks(pending)
+        def execute(payloads: list[tuple[int, ScenarioSpec, int, float]],
+                    ) -> None:
+            tasks = self._build_tasks(payloads)
+            if self.guard is not None:
+                for payload in payloads:
+                    attempts[payload[0]] = attempts.get(payload[0], 0) + 1
             if self.workers == 1 or len(tasks) == 1:
                 for task in tasks:
                     for index, outcome in _execute_task(task):
@@ -523,6 +615,49 @@ class SweepRunner:
                     for pairs in pool.imap_unordered(_execute_task, tasks):
                         for index, outcome in pairs:
                             record(index, outcome)
+
+        if pending:
+            execute(pending)
+
+        # A cached failure is only ever *returned* (rather than retried)
+        # when its budget is spent — if the previous run died before
+        # formally quarantining it, finish the job now.
+        if self.guard is not None and self._cache is not None:
+            for index, outcome in enumerate(outcomes):
+                if (outcome is not None and outcome.from_cache
+                        and not outcome.ok
+                        and outcome.status != QUARANTINED):
+                    attempts[index] = self._cache.recorded_attempts(
+                        self.scenarios[index], seeds[index], self.duration)
+                    self._quarantine(index, outcome, attempts[index],
+                                     record, registry)
+
+        # Retry/quarantine rounds — guarded sweeps only.  Each failed
+        # scenario is re-executed until it succeeds or its budget runs out,
+        # at which point it is durably quarantined and the sweep moves on.
+        if pending and self.guard is not None:
+            scheduled = {payload[0] for payload in pending}
+            while True:
+                retry: list[tuple[int, ScenarioSpec, int, float]] = []
+                for index in sorted(scheduled):
+                    outcome = outcomes[index]
+                    if outcome is None or outcome.ok:
+                        continue
+                    if outcome.status == QUARANTINED:
+                        continue
+                    if attempts.get(index, 0) >= self.guard.max_attempts:
+                        self._quarantine(index, outcome,
+                                         attempts.get(index, 0), record,
+                                         registry)
+                    else:
+                        if registry is not None:
+                            registry.counter("repro_sweep_retries_total",
+                                             status=outcome.status)
+                        retry.append((index, self.scenarios[index],
+                                      seeds[index], self.duration))
+                if not retry:
+                    break
+                execute(retry)
 
         assert all(outcome is not None for outcome in outcomes)
         telemetry = None
@@ -540,15 +675,42 @@ class SweepRunner:
                            outcomes=list(outcomes),
                            telemetry=telemetry)
 
+    def _quarantine(self, index: int, last: ScenarioOutcome, attempts: int,
+                    record: Callable[[int, ScenarioOutcome], None],
+                    registry) -> None:
+        """Retire scenario ``index``: durable record + placeholder outcome.
+
+        The quarantine record lands under ``cache_dir`` (when caching is
+        on) so resumed sweeps — and operators via ``repro.obs.report`` —
+        see the decision; the recorded outcome keeps the last failure's
+        diagnosis with ``status="quarantined"``.
+        """
+        final = quarantined_outcome(last, attempts)
+        if self.cache_dir is not None:
+            QuarantineStore(self.cache_dir).record(QuarantineRecord(
+                index=index,
+                scenario_name=last.scenario_name,
+                seed=last.seed,
+                attempts=attempts,
+                status=last.status,
+                error=last.error,
+                source="sweep",
+            ))
+        if registry is not None:
+            registry.counter("repro_sweep_quarantined_total",
+                             status=last.status)
+        record(index, final)
+
     def _build_tasks(self, pending: list[tuple[int, ScenarioSpec, int, float]],
                      ) -> list[tuple]:
         """Partition pending payloads into solo and cohort tasks.
 
         Cohorts are formed over the analytic scenarios in scenario order;
         a chunk of one falls back to the solo path (nothing to share).
+        Each task carries the runner's guard (``None`` when unguarded).
         """
         if self.batch_size <= 1:
-            return [("solo", payload) for payload in pending]
+            return [("solo", payload, self.guard) for payload in pending]
         from repro.runtime.batch import cohortable
 
         tasks: list[tuple] = []
@@ -557,13 +719,13 @@ class SweepRunner:
             if cohortable(payload[1]):
                 eligible.append(payload)
             else:
-                tasks.append(("solo", payload))
+                tasks.append(("solo", payload, self.guard))
         for start in range(0, len(eligible), self.batch_size):
             chunk = eligible[start:start + self.batch_size]
             if len(chunk) == 1:
-                tasks.append(("solo", chunk[0]))
+                tasks.append(("solo", chunk[0], self.guard))
             else:
-                tasks.append(("cohort", chunk))
+                tasks.append(("cohort", chunk, self.guard))
         return tasks
 
 

@@ -25,6 +25,7 @@ fresh one per cycle.
 from __future__ import annotations
 
 import itertools
+from time import perf_counter
 from typing import Callable, Optional, Union
 
 from repro.sim.queues import (
@@ -35,7 +36,10 @@ from repro.sim.queues import (
 )
 
 __all__ = [
+    "DeadlineExceeded",
+    "EngineInterrupt",
     "Event",
+    "EventBudgetExceeded",
     "EventHandle",
     "PeriodicHandle",
     "ReusableTimer",
@@ -46,6 +50,29 @@ __all__ = [
 
 class SimulationError(RuntimeError):
     """Raised when the engine is used incorrectly (e.g. scheduling in the past)."""
+
+
+class EngineInterrupt(RuntimeError):
+    """A supervision bound stopped the run before it finished.
+
+    Carries partial provenance — events processed and the simulated time
+    reached — so the supervisor (``repro.runtime.guard``) can report *where*
+    the run was cut short, not just that it was.
+    """
+
+    def __init__(self, message: str, events_processed: int,
+                 sim_time: float) -> None:
+        super().__init__(message)
+        self.events_processed = events_processed
+        self.sim_time = sim_time
+
+
+class EventBudgetExceeded(EngineInterrupt):
+    """The engine's deterministic event budget was exhausted mid-run."""
+
+
+class DeadlineExceeded(EngineInterrupt):
+    """The engine's wall-clock deadline passed mid-run."""
 
 
 class PeriodicHandle:
@@ -226,6 +253,15 @@ class SimulationEngine:
         #: keeps every instrumentation site a single ``is not None``
         #: check — the same zero-cost pattern as :attr:`trace`.
         self.tracer = None
+        #: Supervision bounds (``repro.runtime.guard`` installs them).
+        #: ``event_budget`` caps total :attr:`processed_events`
+        #: (deterministic: the same run hits it at the same event);
+        #: ``deadline_at`` is an absolute :func:`time.perf_counter` value
+        #: checked every 1024 events.  Both default to ``None`` — the run
+        #: loop then pays one ``is not None`` per event and the trace is
+        #: bit-identical to an unguarded engine.
+        self.event_budget: Optional[int] = None
+        self.deadline_at: Optional[float] = None
 
     @property
     def now(self) -> float:
@@ -355,6 +391,8 @@ class SimulationEngine:
         queue = self._queue
         trace = self.trace
         tracer = self.tracer
+        budget = self.event_budget
+        deadline = self.deadline_at
         executed = 0
         try:
             while max_events is None or executed < max_events:
@@ -373,6 +411,16 @@ class SimulationEngine:
                 event.callback(*event.args)
                 self._processed += 1
                 executed += 1
+                if budget is not None and self._processed >= budget:
+                    raise EventBudgetExceeded(
+                        f"event budget of {budget} exhausted at simulated "
+                        f"time {self._now:.6f}s", self._processed, self._now)
+                if (deadline is not None and not (self._processed & 1023)
+                        and perf_counter() >= deadline):
+                    raise DeadlineExceeded(
+                        f"wall-clock deadline passed after "
+                        f"{self._processed} events at simulated time "
+                        f"{self._now:.6f}s", self._processed, self._now)
         finally:
             self._running = False
         return self._now

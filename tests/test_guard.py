@@ -1,0 +1,503 @@
+"""Tests for run supervision (``repro.runtime.guard``).
+
+Covers the engine's deterministic event budget and wall-clock deadline,
+``GuardPolicy`` round-trips, result validation, the quarantine store, the
+scenario fault plan, the ``SweepRunner`` retry/quarantine loop (including
+cohort degradation and resume), every failure status through all three
+result sinks, and the cluster-side retry budget: ``record_failure``
+charging, repeated-lease-death quarantine, the serve ``fail`` op, and the
+frame-rejection regression (oversized / garbage frames must get structured
+errors without taking the connection down).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterCoordinator, FilesystemTransport
+from repro.cluster.serve import ClusterCoordinatorServer
+from repro.cluster.sinks import load_results, merge_results, open_sink, part_name
+from repro.cluster.transport import (
+    MAX_FRAME_BYTES,
+    FrameDecodeError,
+    FrameTooLarge,
+    SocketTransport,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime import (
+    GuardPolicy,
+    ScenarioSpec,
+    SweepRunner,
+    run_sweep,
+    single_kind_scenarios,
+)
+from repro.runtime.guard import (
+    FAILURE_STATUSES,
+    QUARANTINED,
+    SCENARIO_FAULTS_ENV,
+    DeadlineExceeded,
+    EventBudgetExceeded,
+    QuarantineRecord,
+    QuarantineStore,
+    ScenarioFaultPlan,
+    quarantined_outcome,
+    validate_density_state,
+    validate_outcome,
+    validate_summary_data,
+)
+from repro.runtime.sweep import _failure_outcome
+from repro.sim.engine import SimulationEngine
+
+DURATION = 0.05
+
+
+def grid(count=None, loads=("Low", "High")) -> list[ScenarioSpec]:
+    specs = single_kind_scenarios(
+        "Lab", kinds=("NL", "CK", "MD"), loads=loads,
+        max_pairs_options=(1,), origins=("A",), include_md_k255=False,
+        attempt_batch_size=40, backend="analytic")
+    return specs if count is None else specs[:count]
+
+
+# --------------------------------------------------------------------------- #
+# Engine guard hooks
+# --------------------------------------------------------------------------- #
+class TestEngineGuards:
+    def test_event_budget_interrupts_at_the_exact_event(self):
+        def run_with_budget(budget):
+            engine = SimulationEngine()
+            engine.schedule_periodic(1.0, lambda: None, name="tick")
+            engine.event_budget = budget
+            with pytest.raises(EventBudgetExceeded) as err:
+                engine.run()
+            return err.value
+
+        first = run_with_budget(50)
+        second = run_with_budget(50)
+        assert first.events_processed == second.events_processed == 50
+        assert first.sim_time == second.sim_time
+
+    def test_wall_deadline_interrupts(self):
+        engine = SimulationEngine()
+        engine.schedule_periodic(1.0, lambda: None, name="tick")
+        engine.deadline_at = time.perf_counter() - 1.0  # already past
+        with pytest.raises(DeadlineExceeded) as err:
+            engine.run(until=5000.0)
+        # The deadline is only polled every 1024 events, so the interrupt
+        # lands on a multiple of the polling stride.
+        assert err.value.events_processed % 1024 == 0
+
+    def test_unset_guards_leave_run_unbounded(self):
+        engine = SimulationEngine()
+        engine.schedule_periodic(1.0, lambda: None, name="tick")
+        engine.run(until=2000.0)  # > one deadline polling stride
+
+
+# --------------------------------------------------------------------------- #
+# GuardPolicy
+# --------------------------------------------------------------------------- #
+class TestGuardPolicy:
+    def test_round_trips_through_dict(self):
+        policy = GuardPolicy(max_events=123, wall_deadline=4.5,
+                             max_attempts=3, validate=True)
+        assert GuardPolicy.from_dict(policy.to_dict()) == policy
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_events": 0},
+        {"max_events": -5},
+        {"wall_deadline": 0.0},
+        {"max_attempts": 0},
+    ])
+    def test_rejects_invalid_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            GuardPolicy(**kwargs)
+
+    def test_install_arms_the_engine(self):
+        engine = SimulationEngine()
+        GuardPolicy(max_events=7, wall_deadline=60.0).install(engine)
+        assert engine.event_budget == 7
+        assert engine.deadline_at is not None
+        assert GuardPolicy(max_events=1).bounds_execution
+        assert not GuardPolicy(validate=True).bounds_execution
+
+
+# --------------------------------------------------------------------------- #
+# Result validation
+# --------------------------------------------------------------------------- #
+class TestValidation:
+    def test_density_state_checks(self):
+        good = np.array([[0.5, 0.0], [0.0, 0.5]], dtype=complex)
+        assert validate_density_state(good) is None
+        assert "not PSD" in validate_density_state(
+            np.array([[2.0, 0], [0, -1.0]], dtype=complex))
+        bad_trace = np.array([[0.9, 0], [0, 0.9]], dtype=complex)
+        assert "trace" in validate_density_state(bad_trace)
+        non_hermitian = np.array([[0.5, 0.4], [0.1, 0.5]], dtype=complex)
+        assert "Hermitian" in validate_density_state(non_hermitian)
+        nans = np.array([[np.nan, 0], [0, 1.0]], dtype=complex)
+        assert "finite" in validate_density_state(nans)
+
+    def test_summary_data_key_conventions(self):
+        assert validate_summary_data({"fidelity": 0.93}, "s") == []
+        assert any("fidelity" in p for p in
+                   validate_summary_data({"fidelity": 1.5}, "s"))
+        assert any("finite" in p.lower() for p in
+                   validate_summary_data({"latency_avg": float("nan")}, "s"))
+        # Containers under a keyed name are flattened into its numbers.
+        nested = {"success_probability": [0.5, -0.2]}
+        assert any("outside" in p for p in
+                   validate_summary_data(nested, "s"))
+
+    def test_validate_outcome_flags_corruption(self):
+        (outcome,) = run_sweep(grid(1), DURATION, master_seed=7).outcomes
+        assert outcome.ok
+        assert validate_outcome(outcome) == []
+        corrupted = dataclasses.replace(outcome, events_processed=-3)
+        assert validate_outcome(corrupted)
+
+    def test_validating_sweep_accepts_healthy_results(self, tmp_path):
+        guard = GuardPolicy(validate=True, max_attempts=1)
+        baseline = run_sweep(grid(2), DURATION, master_seed=7)
+        checked = SweepRunner(grid(2), DURATION, master_seed=7,
+                              guard=guard).run()
+        assert checked.outcomes == baseline.outcomes
+
+
+# --------------------------------------------------------------------------- #
+# Quarantine records
+# --------------------------------------------------------------------------- #
+class TestQuarantine:
+    def test_store_round_trips_durably(self, tmp_path):
+        record = QuarantineRecord(index=3, scenario_name="s", seed=42,
+                                  attempts=2, status="timeout",
+                                  error="boom", source="sweep")
+        QuarantineStore(tmp_path).record(record)
+        # A fresh store instance sees the durable record.
+        store = QuarantineStore(tmp_path)
+        assert store.indices() == {3}
+        loaded = store.load(3)
+        assert loaded == record
+        assert QuarantineRecord.from_dict(record.to_dict()) == record
+
+    def test_quarantined_outcome_keeps_identity_fields(self):
+        spec = grid(1)[0]
+        last = _failure_outcome(spec, 9, DURATION, "oom", "MemoryError",
+                                time.perf_counter())
+        final = quarantined_outcome(last, attempts=2)
+        assert final.status == QUARANTINED
+        assert final.scenario_name == last.scenario_name
+        assert final.seed == last.seed
+        assert "2 attempt(s)" in final.error and "[oom]" in final.error
+
+
+# --------------------------------------------------------------------------- #
+# Scenario fault plan
+# --------------------------------------------------------------------------- #
+class TestScenarioFaultPlan:
+    def test_env_round_trip(self):
+        plan = ScenarioFaultPlan(hang=frozenset({"a"}),
+                                 oom=frozenset({"b", "c"}),
+                                 crash=frozenset({"d"}))
+        assert ScenarioFaultPlan.from_env(plan.to_env()) == plan
+        assert plan.fault_for("a") == "hang"
+        assert plan.fault_for("c") == "oom"
+        assert plan.fault_for("d") == "crash"
+        assert plan.fault_for("e") is None
+
+
+# --------------------------------------------------------------------------- #
+# Guarded sweeps: identity, retries, quarantine, degradation, resume
+# --------------------------------------------------------------------------- #
+class TestGuardedSweep:
+    def test_loose_guard_changes_nothing(self):
+        specs = grid(3)
+        baseline = run_sweep(specs, DURATION, master_seed=21)
+        guard = GuardPolicy(max_events=10**9, wall_deadline=600.0,
+                            max_attempts=2, validate=True)
+        guarded = SweepRunner(specs, DURATION, master_seed=21,
+                              guard=guard).run()
+        assert guarded.outcomes == baseline.outcomes
+        assert guarded.quarantined == []
+
+    def test_exhausted_budget_quarantines_with_durable_records(
+            self, tmp_path):
+        # Indices 1 and 2 of the small grid actually process engine events
+        # (the others resolve on the analytic fast path without any); at
+        # 0.5 simulated seconds both process well over 100, so a 10-event
+        # budget deterministically interrupts them.
+        specs = grid()[1:3]
+        guard = GuardPolicy(max_events=10, max_attempts=2)
+        result = SweepRunner(specs, 0.5, master_seed=21, guard=guard,
+                             cache_dir=tmp_path).run()
+        assert [o.status for o in result.outcomes] == [QUARANTINED] * 2
+        assert result.quarantined_indices == [0, 1]
+        records = QuarantineStore(tmp_path).load_all()
+        assert [r.index for r in records] == [0, 1]
+        assert all(r.status == "timeout" and r.attempts == 2
+                   and r.source == "sweep" for r in records)
+
+    def test_fault_plan_quarantines_exactly_the_poisoned(
+            self, tmp_path, monkeypatch):
+        specs = grid()
+        baseline = run_sweep(specs, DURATION, master_seed=21)
+        plan = ScenarioFaultPlan(hang=frozenset({specs[1].name}),
+                                 oom=frozenset({specs[3].name}))
+        monkeypatch.setenv(SCENARIO_FAULTS_ENV, plan.to_env())
+        guard = GuardPolicy(max_events=200_000, wall_deadline=60.0,
+                            max_attempts=2)
+        result = SweepRunner(specs, DURATION, master_seed=21, guard=guard,
+                             cache_dir=tmp_path).run()
+        assert result.quarantined_indices == [1, 3]
+        survivors = [o for i, o in enumerate(result.outcomes)
+                     if i not in (1, 3)]
+        expected = [o for i, o in enumerate(baseline.outcomes)
+                    if i not in (1, 3)]
+        assert survivors == expected
+        statuses = {r.index: r.status
+                    for r in QuarantineStore(tmp_path).load_all()}
+        assert statuses == {1: "timeout", 3: "oom"}
+
+        # Resume from the same cache without the faults: the quarantine is
+        # durable — nothing re-executes and nothing un-quarantines.
+        monkeypatch.delenv(SCENARIO_FAULTS_ENV)
+        resumed = SweepRunner(specs, DURATION, master_seed=21, guard=guard,
+                              cache_dir=tmp_path).run()
+        assert resumed.outcomes == result.outcomes
+        assert all(o.from_cache for o in resumed.outcomes)
+
+    def test_cohort_degrades_failing_members_to_solo(
+            self, tmp_path, monkeypatch):
+        specs = grid()
+        baseline = run_sweep(specs, DURATION, master_seed=21)
+        plan = ScenarioFaultPlan(oom=frozenset({specs[2].name}))
+        monkeypatch.setenv(SCENARIO_FAULTS_ENV, plan.to_env())
+        guard = GuardPolicy(max_events=200_000, max_attempts=2)
+        result = SweepRunner(specs, DURATION, master_seed=21, guard=guard,
+                             batch_size=4, cache_dir=tmp_path).run()
+        assert result.quarantined_indices == [2]
+        survivors = [o for i, o in enumerate(result.outcomes) if i != 2]
+        assert survivors == [o for i, o in enumerate(baseline.outcomes)
+                             if i != 2]
+
+
+# --------------------------------------------------------------------------- #
+# Failure statuses through every sink (and the merge)
+# --------------------------------------------------------------------------- #
+class TestFailureStatusSinks:
+    @pytest.fixture(scope="class")
+    def failure_outcomes(self):
+        specs = grid()
+        outcomes = [
+            _failure_outcome(spec, seed=100 + index, duration=DURATION,
+                             status=status,
+                             error=f"injected {status} failure\nline two",
+                             started=time.perf_counter(),
+                             events_processed=index * 11)
+            for index, (spec, status) in enumerate(
+                zip(specs, FAILURE_STATUSES))
+        ]
+        outcomes.append(quarantined_outcome(outcomes[0], attempts=2))
+        return outcomes
+
+    @pytest.mark.parametrize("kind", ["json", "jsonl", "columnar"])
+    def test_every_failure_status_survives_the_sink(self, failure_outcomes,
+                                                    tmp_path, kind):
+        path = tmp_path / part_name(kind, "w0")
+        sink = open_sink(kind, path, master_seed=1, duration=DURATION)
+        for index, outcome in enumerate(failure_outcomes):
+            sink.write(index, outcome)
+        sink.close()
+        loaded = [o for _, o in load_results(path)]
+        assert loaded == failure_outcomes
+        assert ([o.status for o in loaded]
+                == list(FAILURE_STATUSES) + [QUARANTINED])
+        assert all(o.error for o in loaded)
+
+    def test_failure_statuses_merge_identically_across_formats(
+            self, failure_outcomes, tmp_path):
+        merged = {}
+        for kind in ("json", "jsonl", "columnar"):
+            path = tmp_path / kind / part_name(kind, "w0")
+            path.parent.mkdir()
+            sink = open_sink(kind, path, master_seed=1, duration=DURATION)
+            for index, outcome in enumerate(failure_outcomes):
+                sink.write(index, outcome)
+            sink.close()
+            merged[kind] = merge_results([path])
+        assert merged["json"] == merged["jsonl"] == merged["columnar"]
+        result = merged["json"]
+        assert result.quarantined_indices == [len(failure_outcomes) - 1]
+        assert len(result.failed) == len(failure_outcomes)
+
+    def test_mixed_ok_and_failed_parts_merge(self, failure_outcomes,
+                                             tmp_path):
+        ok = run_sweep(grid(1), DURATION, master_seed=1).outcomes[0]
+        a = tmp_path / part_name("jsonl", "w0")
+        sink = open_sink("jsonl", a, master_seed=1, duration=DURATION)
+        sink.write(0, ok)
+        sink.close()
+        b = tmp_path / part_name("columnar", "w1")
+        sink = open_sink("columnar", b, master_seed=1, duration=DURATION)
+        sink.write(1, failure_outcomes[0])
+        sink.close()
+        merged = merge_results([a, b], expected_count=2)
+        assert merged.outcomes == [ok, failure_outcomes[0]]
+
+
+# --------------------------------------------------------------------------- #
+# Cluster-side retry budget and quarantine
+# --------------------------------------------------------------------------- #
+class TestClusterGuard:
+    def coordinator(self, tmp_path, **kwargs):
+        kwargs.setdefault("guard", GuardPolicy(max_events=10**9,
+                                               max_attempts=2))
+        coordinator = ClusterCoordinator(grid(3), DURATION, tmp_path / "c",
+                                         master_seed=5, num_shards=1,
+                                         **kwargs)
+        coordinator.write_plan()
+        return coordinator
+
+    def failure(self, coordinator, index, status="error"):
+        plan = coordinator.cluster_plan()
+        return _failure_outcome(plan.specs[index], plan.seeds[index],
+                                DURATION, status, "injected failure",
+                                time.perf_counter())
+
+    def test_record_failure_charges_then_quarantines(self, tmp_path):
+        coordinator = self.coordinator(tmp_path)
+        transport = FilesystemTransport(coordinator.cluster_dir)
+        assert transport.try_claim(0, "w1")
+        charged = transport.record_failure(
+            "w1", 0, self.failure(coordinator, 0), attempt=1)
+        assert charged == {"attempts": 1, "quarantined": False}
+        # The failing worker's lease was released: the scenario is
+        # immediately reclaimable for the retry.
+        assert transport.try_claim(0, "w2")
+        charged = transport.record_failure(
+            "w2", 0, self.failure(coordinator, 0), attempt=1)
+        assert charged["attempts"] == 2 and charged["quarantined"]
+        (record,) = coordinator.quarantine_records()
+        assert (record.index, record.status, record.source) == \
+            (0, "error", "coordinator")
+        # Duplicate delivery of the same failure is idempotent.
+        again = transport.record_failure(
+            "w2", 0, self.failure(coordinator, 0), attempt=1)
+        assert again["quarantined"]
+        assert len(coordinator.quarantine_records()) == 1
+        transport.close()
+
+    def test_repeated_lease_deaths_quarantine_silent_crashers(
+            self, tmp_path, monkeypatch):
+        import os as _os
+
+        coordinator = self.coordinator(tmp_path)
+        transport = FilesystemTransport(coordinator.cluster_dir)
+
+        def age_lease(index):
+            past = time.time() - 3600.0
+            lease = coordinator.cluster_dir / "tasks" / f"{index}.lease"
+            _os.utime(lease, (past, past))
+
+        # Death 1: w1 claims and "dies" (never heartbeats, never reports).
+        assert transport.try_claim(1, "w1")
+        age_lease(1)
+        # w2's takeover writes the death marker and wins the lease.
+        assert transport.try_claim(1, "w2")
+        age_lease(1)
+        # Death 2 spends the budget: the takeover is refused and the
+        # scenario is quarantined as a crash without any failure report.
+        assert not transport.try_claim(1, "w3")
+        (record,) = coordinator.quarantine_records()
+        assert (record.index, record.status, record.attempts,
+                record.source) == (1, "crash", 2, "coordinator")
+        transport.close()
+
+    def test_unguarded_plan_document_is_unchanged(self, tmp_path):
+        coordinator = self.coordinator(tmp_path, guard=None)
+        assert "guard" not in coordinator.cluster_plan().to_dict()
+        # Unguarded protocol: failures are not tracked, deaths not counted.
+        transport = FilesystemTransport(coordinator.cluster_dir)
+        assert transport.guard is None
+        transport.close()
+
+
+# --------------------------------------------------------------------------- #
+# Serve: the fail op and frame rejection (S6 regression)
+# --------------------------------------------------------------------------- #
+class TestServeGuard:
+    @pytest.fixture
+    def server(self, tmp_path):
+        coordinator = ClusterCoordinator(
+            grid(2), DURATION, tmp_path / "serve", master_seed=5,
+            num_shards=1,
+            guard=GuardPolicy(max_events=10**9, max_attempts=2))
+        server = ClusterCoordinatorServer(coordinator)
+        server.start_background()
+        yield server
+        server.stop()
+
+    def test_fail_op_charges_over_the_wire(self, server):
+        transport = SocketTransport(server.address)
+        plan = transport.plan
+        assert transport.try_claim(0, "w1")
+        outcome = _failure_outcome(plan.specs[0], plan.seeds[0], DURATION,
+                                   "timeout", "injected",
+                                   time.perf_counter())
+        charged = transport.record_failure("w1", 0, outcome, attempt=1)
+        assert charged["attempts"] == 1 and not charged["quarantined"]
+        assert transport.try_claim(0, "w1")
+        charged = transport.record_failure("w1", 0, outcome, attempt=2)
+        assert charged["quarantined"]
+        (record,) = server.coordinator.quarantine_records()
+        assert record.status == "timeout"
+        transport.close()
+
+    def test_rejects_bad_frames_and_keeps_serving(self, server):
+        sock = socket.create_connection(server.server_address[:2],
+                                        timeout=30)
+        try:
+            # Oversized announcement: structured error, body drained.
+            sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            sock.sendall(b"x" * 1024)
+            response = recv_frame(sock)
+            assert response["ok"] is False
+            assert "rejected frame" in response["error"]
+            sock.sendall(b"x" * (MAX_FRAME_BYTES + 1 - 1024))
+            # Undecodable body: structured error, stream still framed.
+            garbage = b"\xff\xfe{not json"
+            sock.sendall(struct.pack(">I", len(garbage)) + garbage)
+            response = recv_frame(sock)
+            assert response["ok"] is False
+            # Non-object frame: structured error.
+            body = json.dumps([1, 2]).encode()
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            response = recv_frame(sock)
+            assert response["ok"] is False
+            # The same connection still serves real operations.
+            send_frame(sock, {"op": "plan"})
+            response = recv_frame(sock)
+            assert response["ok"] is True and "plan" in response
+        finally:
+            sock.close()
+
+    def test_recv_frame_raises_typed_errors(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(FrameTooLarge) as err:
+                recv_frame(b)
+            assert err.value.length == MAX_FRAME_BYTES + 1
+            a.sendall(struct.pack(">I", 3) + b"\xff\xfe\xfd")
+            with pytest.raises(FrameDecodeError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
